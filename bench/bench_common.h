@@ -1,0 +1,37 @@
+#pragma once
+
+// Shared plumbing for the reproduction benchmarks: every bench binary first
+// prints the reproduced figure/table rows (the paper normalizes against the
+// out-of-the-box configuration = 100 %), then runs google-benchmark timers
+// over the underlying tool steps.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "apps/registry.h"
+#include "core/driver.h"
+#include "core/report_table.h"
+#include "explore/sweep.h"
+
+namespace mhla::bench {
+
+/// The experiments' default platform: 4 KiB L1 + 128 KiB L2 over SDRAM,
+/// DMA engine present (TE requires one).
+inline mem::PlatformConfig default_platform() { return mem::PlatformConfig{}; }
+
+/// Run the full two-step flow for one app on the default platform.
+inline core::RunResult run_app(const apps::AppInfo& info) {
+  auto ws = core::make_workspace(info.build(), default_platform(), mem::DmaEngine{});
+  return core::run_mhla(*ws);
+}
+
+/// Print the given reproduction block with a standard header.
+inline void print_header(const std::string& experiment, const std::string& claim) {
+  std::cout << "==============================================================\n"
+            << "Reproduction: " << experiment << "\n"
+            << "Paper claim:  " << claim << "\n"
+            << "==============================================================\n";
+}
+
+}  // namespace mhla::bench

@@ -1,0 +1,180 @@
+// The command-line face of the library: run the full MHLA flow on one of
+// the built-in applications or on a program description file (the `.mhla`
+// text format, see ir/serialize.h), on a configurable platform.
+//
+// Usage:
+//   mhla_tool --app motion_estimation [options]
+//   mhla_tool --file program.mhla [options]
+//   mhla_tool --dump-app qsdpcm            # print the .mhla description
+//
+// Options:
+//   --l1 <bytes>      L1 scratchpad capacity   (default 4096)
+//   --l2 <bytes>      L2 scratchpad capacity   (default 131072, 0 = none)
+//   --target <t>      energy | time | balanced (default balanced)
+//   --no-dma          platform without a transfer engine (TE not applicable)
+//   --sweep           run the layer-size trade-off exploration instead
+//   --verbose         also print the program and the chosen assignment
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "apps/registry.h"
+#include "core/driver.h"
+#include "core/json_report.h"
+#include "core/report_table.h"
+#include "explore/sweep.h"
+#include "ir/printer.h"
+#include "ir/serialize.h"
+
+using namespace mhla;
+
+namespace {
+
+struct Options {
+  std::string app;
+  std::string file;
+  std::string dump_app;
+  ir::i64 l1 = 4 * 1024;
+  ir::i64 l2 = 128 * 1024;
+  assign::Target target = assign::Target::Balanced;
+  bool no_dma = false;
+  bool sweep = false;
+  bool verbose = false;
+  bool json = false;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " (--app <name> | --file <path.mhla> | --dump-app <name>)\n"
+               "       [--l1 <bytes>] [--l2 <bytes>] [--target energy|time|balanced]\n"
+               "       [--no-dma] [--sweep] [--verbose] [--json]\n\napplications:\n";
+  for (const apps::AppInfo& info : apps::all_apps()) {
+    std::cerr << "  " << info.name << " — " << info.description << "\n";
+  }
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--app") {
+      options.app = next();
+    } else if (arg == "--file") {
+      options.file = next();
+    } else if (arg == "--dump-app") {
+      options.dump_app = next();
+    } else if (arg == "--l1") {
+      options.l1 = std::stoll(next());
+    } else if (arg == "--l2") {
+      options.l2 = std::stoll(next());
+    } else if (arg == "--target") {
+      std::string t = next();
+      if (t == "energy") {
+        options.target = assign::Target::Energy;
+      } else if (t == "time") {
+        options.target = assign::Target::Time;
+      } else if (t == "balanced") {
+        options.target = assign::Target::Balanced;
+      } else {
+        throw std::invalid_argument("unknown target '" + t + "'");
+      }
+    } else if (arg == "--no-dma") {
+      options.no_dma = true;
+    } else if (arg == "--sweep") {
+      options.sweep = true;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else {
+      throw std::invalid_argument("unknown option '" + arg + "'");
+    }
+  }
+  return !options.app.empty() || !options.file.empty() || !options.dump_app.empty();
+}
+
+ir::Program load_program(const Options& options) {
+  if (!options.app.empty()) return apps::build_app(options.app);
+  std::ifstream in(options.file);
+  if (!in) throw std::invalid_argument("cannot open '" + options.file + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ir::parse_program(text.str());
+}
+
+void run_sweep(const ir::Program& program, const Options& options) {
+  xplore::SweepConfig config;
+  for (ir::i64 size = 256; size <= 64 * 1024; size *= 2) config.l1_sizes.push_back(size);
+  config.l2_sizes = {0, options.l2};
+  config.target = options.target;
+  config.dma.present = !options.no_dma;
+
+  auto samples = xplore::sweep_layer_sizes(program, config);
+  auto front = xplore::frontier(samples);
+  std::cout << "explored " << samples.size() << " configurations; Pareto frontier:\n";
+  core::Table table({"L1", "L2", "cycles", "energy nJ"});
+  for (const xplore::TradeoffPoint& p : front) {
+    table.add_row({std::to_string(p.l1_bytes), std::to_string(p.l2_bytes),
+                   core::Table::num(p.cycles, 0), core::Table::num(p.energy_nj, 0)});
+  }
+  std::cout << table.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  try {
+    if (!parse_args(argc, argv, options)) return usage(argv[0]);
+
+    if (!options.dump_app.empty()) {
+      std::cout << ir::serialize(apps::build_app(options.dump_app));
+      return 0;
+    }
+
+    ir::Program program = load_program(options);
+    if (options.verbose) std::cout << ir::to_string(program) << "\n";
+
+    if (options.sweep) {
+      run_sweep(program, options);
+      return 0;
+    }
+
+    mem::PlatformConfig platform;
+    platform.l1_bytes = options.l1;
+    platform.l2_bytes = options.l2;
+    mem::DmaEngine dma;
+    dma.present = !options.no_dma;
+
+    auto ws = core::make_workspace(std::move(program), platform, dma);
+    core::RunResult run = core::run_mhla(*ws, options.target);
+
+    if (options.verbose) {
+      std::cout << "greedy moves: " << run.step1.moves.size()
+                << ", cost evaluations: " << run.step1.evaluations << "\n";
+      for (const assign::PlacedCopy& pc : run.step1.assignment.copies) {
+        const analysis::CopyCandidate& cc = ws->reuse().candidate(pc.cc_id);
+        std::cout << "  copy " << cc.array << " nest " << cc.nest << " level " << cc.level
+                  << " (" << cc.bytes << " B) -> " << ws->hierarchy().layer(pc.layer).name
+                  << "\n";
+      }
+      std::cout << "\n";
+    }
+    if (options.json) {
+      std::cout << core::to_json(ws->program().name(), run.points) << "\n";
+    } else {
+      std::cout << sim::format_four_points(ws->program().name(), run.points) << "\n"
+                << sim::format_result(run.points.mhla_te);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

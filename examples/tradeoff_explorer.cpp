@@ -1,0 +1,55 @@
+// Domain example 2: the trade-off exploration the paper's abstract promises
+// ("a thorough trade-off exploration for different memory layer sizes").
+// Sweeps the on-chip configuration for a chosen application and prints the
+// energy/performance Pareto frontier a system designer would pick from.
+//
+// Usage:   ./build/examples/tradeoff_explorer [app_name]
+//          (default app: cavity_detection; try `jpeg_compress`, `qsdpcm`...)
+
+#include <iostream>
+
+#include "apps/registry.h"
+#include "core/report_table.h"
+#include "explore/sweep.h"
+
+using namespace mhla;
+
+int main(int argc, char** argv) {
+  std::string app_name = argc > 1 ? argv[1] : "cavity_detection";
+  ir::Program program = [&] {
+    try {
+      return apps::build_app(app_name);
+    } catch (const std::out_of_range&) {
+      std::cerr << "unknown app '" << app_name << "'; available:\n";
+      for (const apps::AppInfo& info : apps::all_apps()) std::cerr << "  " << info.name << "\n";
+      std::exit(1);
+    }
+  }();
+
+  xplore::SweepConfig config;
+  for (ir::i64 size = 256; size <= 64 * 1024; size *= 2) config.l1_sizes.push_back(size);
+  config.l2_sizes = {0, 64 * 1024, 256 * 1024};
+
+  std::vector<xplore::SweepSample> samples = xplore::sweep_layer_sizes(program, config);
+  std::vector<xplore::TradeoffPoint> front = xplore::frontier(samples);
+
+  std::cout << "explored " << samples.size() << " on-chip configurations for '" << app_name
+            << "'\n\nPareto frontier (choose your trade-off):\n";
+  core::Table table({"L1", "L2", "cycles", "energy nJ"});
+  for (const xplore::TradeoffPoint& p : front) {
+    table.add_row({std::to_string(p.l1_bytes), std::to_string(p.l2_bytes),
+                   core::Table::num(p.cycles, 0), core::Table::num(p.energy_nj, 0)});
+  }
+  std::cout << table.str();
+
+  // Show the span the exploration covers.
+  auto [min_it, max_it] = std::minmax_element(
+      samples.begin(), samples.end(), [](const xplore::SweepSample& a, const xplore::SweepSample& b) {
+        return a.point.energy_nj < b.point.energy_nj;
+      });
+  std::cout << "\nenergy span across configurations: "
+            << core::Table::num(100.0 * (max_it->point.energy_nj - min_it->point.energy_nj) /
+                                    max_it->point.energy_nj)
+            << " % (best config saves this much vs the worst swept config)\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "analysis/dependence.h"
+
+#include <algorithm>
+
+namespace mhla::analysis {
+
+DependenceInfo DependenceInfo::run(const ir::Program& program,
+                                   const std::vector<AccessSite>& sites) {
+  DependenceInfo info;
+  for (const ir::ArrayDecl& array : program.arrays()) {
+    info.writers_[array.name];  // ensure every array has an entry
+  }
+  for (const AccessSite& site : sites) {
+    if (!site.is_write()) continue;
+    std::vector<int>& writers = info.writers_[site.access->array];
+    if (writers.empty() || writers.back() != site.nest) {
+      writers.push_back(site.nest);
+    }
+  }
+  for (auto& [array, writers] : info.writers_) {
+    std::sort(writers.begin(), writers.end());
+    writers.erase(std::unique(writers.begin(), writers.end()), writers.end());
+  }
+  return info;
+}
+
+int DependenceInfo::producer_before(const std::string& array, int nest) const {
+  const std::vector<int>& writers = writer_nests(array);
+  int producer = -1;
+  for (int w : writers) {
+    if (w >= nest) break;
+    producer = w;
+  }
+  return producer;
+}
+
+const std::vector<int>& DependenceInfo::writer_nests(const std::string& array) const {
+  auto it = writers_.find(array);
+  return it == writers_.end() ? empty_ : it->second;
+}
+
+int DependenceInfo::freedom_nests(const std::string& array, int nest) const {
+  int producer = producer_before(array, nest);
+  return std::max(0, nest - producer - 1);
+}
+
+}  // namespace mhla::analysis

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/sites.h"
+
+namespace mhla::analysis {
+
+/// Coarse producer/consumer dependence information on the program time axis.
+///
+/// MHLA's time extensions need to know how far *backwards* a block transfer
+/// reading array A in nest n may be issued: no earlier than the end of the
+/// last nest before n that writes A (the data would not exist yet).  For
+/// program inputs there is no producer, so the issue may move to the very
+/// start of the program.
+class DependenceInfo {
+ public:
+  static DependenceInfo run(const ir::Program& program, const std::vector<AccessSite>& sites);
+
+  /// Latest nest strictly before `nest` that writes `array`; -1 if none
+  /// (the array content is a program input at that point).
+  int producer_before(const std::string& array, int nest) const;
+
+  /// Nests that write `array`, ascending.
+  const std::vector<int>& writer_nests(const std::string& array) const;
+
+  /// Number of whole top-level nests between the producer of `array` (w.r.t.
+  /// a consumer in `nest`) and `nest` itself — the prefetch freedom window.
+  int freedom_nests(const std::string& array, int nest) const;
+
+ private:
+  std::map<std::string, std::vector<int>> writers_;
+  std::vector<int> empty_;
+};
+
+}  // namespace mhla::analysis

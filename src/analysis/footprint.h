@@ -1,0 +1,72 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/array.h"
+#include "ir/node.h"
+#include "ir/walk.h"
+
+namespace mhla::analysis {
+
+using ir::i64;
+
+/// A rectangular (bounding-box) footprint: one element-interval width per
+/// array dimension.  MHLA's copy candidates are such boxes.
+struct Box {
+  std::vector<i64> widths;  ///< elements per dimension, outermost first
+
+  i64 elems() const {
+    i64 n = 1;
+    for (i64 w : widths) n *= w;
+    return n;
+  }
+
+  /// Component-wise max (union bounding box of aligned boxes).
+  static Box merge(const Box& a, const Box& b);
+};
+
+/// Bounding box of `access` to `array` when the loops `path[fixed..]` vary
+/// over their full ranges and the outer `fixed` loops are held constant.
+///
+/// Per array dimension:  width = 1 + sum over varying iterators of
+/// |coef| * (trip-1) * step, clamped to the array extent.  Iterators of the
+/// fixed outer loops contribute a (symbolic) offset only, not width.
+Box footprint(const ir::ArrayDecl& array, const ir::ArrayAccess& access, const ir::LoopPath& path,
+              std::size_t fixed);
+
+/// Elements of `footprint(...)` that are *new* relative to the previous
+/// iteration of loop `fixed-1` (the loop immediately outside the box):
+/// consecutive outer iterations shift the box by |coef*step| along each
+/// dimension; the non-overlapping slab must be re-transferred each time.
+/// For `fixed == 0` this equals the full box (there is no outer loop).
+///
+/// This models MHLA's inter-copy reuse ("delta" block transfers).
+i64 delta_elems(const ir::ArrayDecl& array, const ir::ArrayAccess& access, const ir::LoopPath& path,
+                std::size_t fixed);
+
+/// One dimension of a footprint as an interval *relative to the symbolic
+/// base* spanned by the fixed outer iterators: the subscript, with fixed
+/// iterators treated as unknowns, ranges over [lo, hi] as the varying loops
+/// run.  Two accesses under the same fixed loops can be unioned exactly when
+/// their fixed-iterator coefficients agree (same symbolic base).
+struct DimInterval {
+  i64 lo = 0;
+  i64 hi = 0;  ///< inclusive
+  i64 width() const { return hi - lo + 1; }
+};
+
+/// Relative interval per array dimension of `access` with `fixed` outer
+/// loops held constant.
+std::vector<DimInterval> footprint_intervals(const ir::ArrayDecl& array,
+                                             const ir::ArrayAccess& access,
+                                             const ir::LoopPath& path, std::size_t fixed);
+
+/// Coefficients of the fixed outer iterators in dimension `dim` of `access`
+/// (the "symbolic base" signature).  Union of two accesses' intervals is
+/// exact iff their signatures match per dimension.
+std::map<std::string, i64> fixed_signature(const ir::ArrayAccess& access, const ir::LoopPath& path,
+                                           std::size_t fixed, int dim);
+
+}  // namespace mhla::analysis

@@ -1,0 +1,32 @@
+#include "analysis/lifetime.h"
+
+#include <algorithm>
+
+namespace mhla::analysis {
+
+std::map<std::string, LiveRange> array_live_ranges(const ir::Program& program,
+                                                   const std::vector<AccessSite>& sites) {
+  int last_nest = static_cast<int>(program.top().size()) - 1;
+  std::map<std::string, LiveRange> ranges;
+  for (const ir::ArrayDecl& array : program.arrays()) {
+    LiveRange r;
+    r.first = last_nest + 1;  // empty until an access is seen
+    r.last = -1;
+    ranges[array.name] = r;
+  }
+  for (const AccessSite& site : sites) {
+    LiveRange& r = ranges[site.access->array];
+    r.first = std::min(r.first, site.nest);
+    r.last = std::max(r.last, site.nest);
+  }
+  for (const ir::ArrayDecl& array : program.arrays()) {
+    LiveRange& r = ranges[array.name];
+    if (array.is_input) r.first = 0;
+    if (array.is_output) r.last = last_nest;
+    if (array.is_input && is_dead(r)) r.last = last_nest;   // pinned but unused
+    if (array.is_output && r.first > r.last) r.first = 0;
+  }
+  return ranges;
+}
+
+}  // namespace mhla::analysis

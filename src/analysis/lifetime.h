@@ -1,0 +1,33 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/sites.h"
+
+namespace mhla::analysis {
+
+/// Live range of an array on the coarse program time axis (top-level nest
+/// indices, inclusive on both ends).
+struct LiveRange {
+  int first = 0;
+  int last = 0;
+
+  bool overlaps(const LiveRange& o) const { return first <= o.last && o.first <= last; }
+  int length() const { return last - first + 1; }
+};
+
+/// Compute the live range of every declared array:
+///   * inputs are live from nest 0,
+///   * outputs are live until the final nest,
+///   * otherwise from the first to the last nest touching the array.
+/// Arrays never accessed get the empty-ish range [0, -1]... they are
+/// reported with first > last and must be treated as dead.
+std::map<std::string, LiveRange> array_live_ranges(const ir::Program& program,
+                                                   const std::vector<AccessSite>& sites);
+
+/// True if the range is dead (array never accessed and not pinned).
+inline bool is_dead(const LiveRange& r) { return r.first > r.last; }
+
+}  // namespace mhla::analysis

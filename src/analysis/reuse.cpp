@@ -1,0 +1,176 @@
+#include "analysis/reuse.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <tuple>
+
+namespace mhla::analysis {
+
+namespace {
+
+/// Key identifying a merge partition: same array, same nest, same fixed
+/// loop prefix (by node identity).
+struct PartitionKey {
+  std::string array;
+  int nest;
+  std::vector<const ir::LoopNode*> prefix;
+
+  bool operator<(const PartitionKey& o) const {
+    return std::tie(array, nest, prefix) < std::tie(o.array, o.nest, o.prefix);
+  }
+};
+
+/// Delta elements per refresh of the merged box, relative to the iterations
+/// of the innermost fixed loop.  If no member access moves along that loop,
+/// the buffer content is reloaded wholesale (conservative).
+i64 merged_delta(const Box& box, const std::vector<const AccessSite*>& members, int level) {
+  if (level == 0) return box.elems();
+  const ir::LoopNode& outer = *members.front()->path[static_cast<std::size_t>(level - 1)];
+  std::size_t rank = box.widths.size();
+  std::vector<i64> shift(rank, 0);
+  bool moves = false;
+  for (const AccessSite* site : members) {
+    for (std::size_t dim = 0; dim < rank; ++dim) {
+      i64 coef = site->access->index[dim].coef(outer.iter());
+      i64 s = std::llabs(coef) * outer.step();
+      shift[dim] = std::max(shift[dim], s);
+      if (s != 0) moves = true;
+    }
+  }
+  if (!moves) return box.elems();
+  i64 overlap = 1;
+  for (std::size_t dim = 0; dim < rank; ++dim) {
+    overlap *= std::max<i64>(0, box.widths[dim] - shift[dim]);
+  }
+  return std::max<i64>(box.elems() - overlap, 0);
+}
+
+}  // namespace
+
+ReuseAnalysis ReuseAnalysis::run(const ir::Program& program, const std::vector<AccessSite>& sites) {
+  ReuseAnalysis out;
+  std::map<PartitionKey, std::vector<const AccessSite*>> partitions;
+
+  for (const AccessSite& site : sites) {
+    if (!site.array) continue;  // invalid programs are caught by validate()
+    for (std::size_t level = 0; level <= site.path.size(); ++level) {
+      PartitionKey key;
+      key.array = site.access->array;
+      key.nest = site.nest;
+      key.prefix.assign(site.path.begin(), site.path.begin() + static_cast<long>(level));
+      partitions[key].push_back(&site);
+    }
+  }
+
+  for (const auto& [key, members] : partitions) {
+    const ir::ArrayDecl& array = program.array(key.array);
+    int level = static_cast<int>(key.prefix.size());
+    std::size_t rank = static_cast<std::size_t>(array.rank());
+
+    // Union the member footprints exactly where the symbolic bases agree
+    // (same fixed-iterator coefficients), conservatively (whole extent)
+    // where they do not.
+    Box box;
+    box.widths.assign(rank, 1);
+    i64 reads = 0;
+    i64 writes = 0;
+    std::vector<DimInterval> merged;
+    std::vector<std::map<std::string, i64>> signatures;
+    std::vector<bool> incompatible(rank, false);
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      const AccessSite* site = members[m];
+      auto intervals = footprint_intervals(array, *site->access, site->path, key.prefix.size());
+      if (m == 0) {
+        merged = intervals;
+        signatures.resize(rank);
+        for (std::size_t d = 0; d < rank; ++d) {
+          signatures[d] =
+              fixed_signature(*site->access, site->path, key.prefix.size(), static_cast<int>(d));
+        }
+      } else {
+        for (std::size_t d = 0; d < rank; ++d) {
+          auto sig =
+              fixed_signature(*site->access, site->path, key.prefix.size(), static_cast<int>(d));
+          if (sig != signatures[d]) {
+            incompatible[d] = true;
+          } else {
+            merged[d].lo = std::min(merged[d].lo, intervals[d].lo);
+            merged[d].hi = std::max(merged[d].hi, intervals[d].hi);
+          }
+        }
+      }
+      if (site->is_read()) {
+        reads += site->dynamic_accesses();
+      } else {
+        writes += site->dynamic_accesses();
+      }
+    }
+    for (std::size_t d = 0; d < rank; ++d) {
+      i64 width = incompatible[d] ? array.dims[d] : merged[d].width();
+      box.widths[d] = std::min(width, array.dims[d]);
+    }
+
+    CopyCandidate cc;
+    cc.id = static_cast<int>(out.candidates_.size());
+    cc.array = key.array;
+    cc.nest = key.nest;
+    cc.level = level;
+    cc.elems = box.elems();
+    cc.elem_bytes = array.elem_bytes;
+    cc.bytes = box.elems() * array.elem_bytes;
+    cc.prefix.assign(key.prefix.begin(), key.prefix.end());
+    cc.transfers = 1;
+    for (const ir::LoopNode* loop : key.prefix) cc.transfers *= loop->trip();
+    cc.elems_per_transfer = merged_delta(box, members, level);
+    cc.reads_served = reads;
+    cc.writes_served = writes;
+    for (const AccessSite* site : members) cc.site_ids.push_back(site->id);
+
+    // Write-allocate-without-fetch: the fill can be skipped when every read
+    // is locally produced first — a member write with the identical
+    // subscript vector appears earlier in statement order.
+    if (writes > 0) {
+      bool all_reads_covered = true;
+      for (const AccessSite* read_site : members) {
+        if (!read_site->is_read()) continue;
+        bool covered = false;
+        for (const AccessSite* write_site : members) {
+          if (!write_site->is_write()) continue;
+          if (write_site->id < read_site->id &&
+              write_site->access->index == read_site->access->index) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) {
+          all_reads_covered = false;
+          break;
+        }
+      }
+      cc.fill_free = all_reads_covered;
+    }
+
+    out.candidates_.push_back(std::move(cc));
+  }
+
+  // Stable, meaningful ordering: per array, per nest, outer to inner.
+  std::sort(out.candidates_.begin(), out.candidates_.end(),
+            [](const CopyCandidate& a, const CopyCandidate& b) {
+              return std::tie(a.array, a.nest, a.level) < std::tie(b.array, b.nest, b.level);
+            });
+  for (std::size_t i = 0; i < out.candidates_.size(); ++i) {
+    out.candidates_[i].id = static_cast<int>(i);
+  }
+  return out;
+}
+
+std::vector<int> ReuseAnalysis::candidates_for(const std::string& array) const {
+  std::vector<int> ids;
+  for (const CopyCandidate& cc : candidates_) {
+    if (cc.array == array) ids.push_back(cc.id);
+  }
+  return ids;
+}
+
+}  // namespace mhla::analysis

@@ -1,0 +1,63 @@
+#include "apps/registry.h"
+
+#include "ir/builder.h"
+#include "ir/validate.h"
+
+namespace mhla::apps {
+
+using ir::ac;
+using ir::av;
+
+/// ADPCM voice coder: 32768 16-bit samples processed in 128 frames of 256,
+/// with table-driven quantization, followed by a decode/verification pass.
+///
+/// Substitution note: the real coder's step/index tables are indexed by a
+/// data-dependent adaptation state; MHLA needs affine subscripts, so the
+/// lookups are modeled as frame-position-indexed table reads with the same
+/// table sizes and access counts (what matters to MHLA: small, read-only,
+/// extremely reused tables).
+///
+/// Reuse structure MHLA should discover:
+///  * step/index tables -> whole-table level-0 copies in L1,
+///  * per-frame sample blocks -> level-1 copies with full-block deltas;
+///    these are the paper's prototypical double-buffering prefetch targets.
+ir::Program build_adpcm_coder() {
+  constexpr ir::i64 kSamples = 32768;
+  constexpr ir::i64 kFrame = 256;
+  constexpr ir::i64 kFrames = kSamples / kFrame;
+
+  ir::ProgramBuilder pb("adpcm_coder");
+  pb.array("pcm_in", {kSamples}, 2).input();
+  pb.array("step_tab", {kFrame}, 2).input();
+  pb.array("idx_tab", {kFrame}, 1).input();
+  pb.array("code", {kSamples}, 1);
+  pb.array("pcm_out", {kSamples}, 2).output();
+
+  // Nest 0: encode.
+  pb.begin_loop("fr", 0, kFrames);
+  pb.begin_loop("i", 0, kFrame);
+  pb.stmt("encode", 5)
+      .read("pcm_in", {av("fr", kFrame) + av("i")})
+      .read("step_tab", {av("i")})
+      .read("idx_tab", {av("i")})
+      .write("code", {av("fr", kFrame) + av("i")});
+  pb.end_loop();
+  pb.end_loop();
+
+  // Nest 1: decode / verification.
+  pb.begin_loop("fr", 0, kFrames);
+  pb.begin_loop("i", 0, kFrame);
+  pb.stmt("decode", 4)
+      .read("code", {av("fr", kFrame) + av("i")})
+      .read("step_tab", {av("i")})
+      .read("idx_tab", {av("i")})
+      .write("pcm_out", {av("fr", kFrame) + av("i")});
+  pb.end_loop();
+  pb.end_loop();
+
+  ir::Program program = pb.finish();
+  ir::validate_or_throw(program);
+  return program;
+}
+
+}  // namespace mhla::apps

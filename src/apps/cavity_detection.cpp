@@ -1,0 +1,82 @@
+#include "apps/registry.h"
+
+#include "ir/builder.h"
+#include "ir/validate.h"
+
+namespace mhla::apps {
+
+using ir::ac;
+using ir::av;
+
+namespace {
+
+/// Add the nine constant-offset reads of a 3x3 neighbourhood of `array`
+/// centered at (y, x).
+void read_3x3(ir::ProgramBuilder::StmtRef stmt, const std::string& array) {
+  for (ir::i64 dy = -1; dy <= 1; ++dy) {
+    for (ir::i64 dx = -1; dx <= 1; ++dx) {
+      stmt.read(array, {av("y") + ac(dy), av("x") + ac(dx)});
+    }
+  }
+}
+
+}  // namespace
+
+/// Medical cavity detection — a classic DTSE image-processing driver:
+/// a chain of whole-image passes (gauss blur -> gradient -> threshold and
+/// label) with 3x3 neighbourhoods.  240x320 8-bit images.
+///
+/// Reuse / lifetime structure MHLA should discover:
+///  * three-row sliding windows per pass -> level-1 row-band copy candidates
+///    with one-row delta transfers,
+///  * the `gauss` and `grad` intermediates are dead outside their
+///    producer/consumer nests -> inter-array in-place sharing in L2.
+ir::Program build_cavity_detection() {
+  constexpr ir::i64 kH = 240;
+  constexpr ir::i64 kW = 320;
+
+  ir::ProgramBuilder pb("cavity_detection");
+  pb.array("img_in", {kH, kW}, 1).input();
+  pb.array("gauss", {kH, kW}, 1);
+  pb.array("grad", {kH, kW}, 1);
+  pb.array("label", {kH, kW}, 1).output();
+
+  // Nest 0: gaussian blur, 3x3.
+  pb.begin_loop("y", 1, kH - 1);
+  pb.begin_loop("x", 1, kW - 1);
+  {
+    auto stmt = pb.stmt("blur", 4);
+    read_3x3(stmt, "img_in");
+    stmt.write("gauss", {av("y"), av("x")});
+  }
+  pb.end_loop();
+  pb.end_loop();
+
+  // Nest 1: sobel-style gradient magnitude, 3x3.
+  pb.begin_loop("y", 2, kH - 2);
+  pb.begin_loop("x", 2, kW - 2);
+  {
+    auto stmt = pb.stmt("gradient", 6);
+    read_3x3(stmt, "gauss");
+    stmt.write("grad", {av("y"), av("x")});
+  }
+  pb.end_loop();
+  pb.end_loop();
+
+  // Nest 2: threshold + neighbour-max labeling.
+  pb.begin_loop("y", 3, kH - 3);
+  pb.begin_loop("x", 3, kW - 3);
+  {
+    auto stmt = pb.stmt("label", 3);
+    read_3x3(stmt, "grad");
+    stmt.write("label", {av("y"), av("x")});
+  }
+  pb.end_loop();
+  pb.end_loop();
+
+  ir::Program program = pb.finish();
+  ir::validate_or_throw(program);
+  return program;
+}
+
+}  // namespace mhla::apps

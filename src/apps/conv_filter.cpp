@@ -1,0 +1,51 @@
+#include "apps/registry.h"
+
+#include "ir/builder.h"
+#include "ir/validate.h"
+
+namespace mhla::apps {
+
+using ir::ac;
+using ir::av;
+
+/// Convolution filter bank: 8 independent 5x5 filters over one 128x128
+/// 16-bit image (padded to 132x132), a standard front-end of feature
+/// extraction pipelines.
+///
+/// Reuse structure MHLA should discover:
+///  * the 400 B coefficient bank is read in every innermost iteration ->
+///    level-0 whole-table copy into L1,
+///  * a 5-row input band per (f, y) -> level-2 copy with one-row deltas,
+///  * output rows written once each -> level-2 write buffer with write-back.
+ir::Program build_conv_filter() {
+  constexpr ir::i64 kSize = 128;
+  constexpr ir::i64 kPad = 132;
+  constexpr ir::i64 kFilters = 8;
+  constexpr ir::i64 kTaps = 5;
+
+  ir::ProgramBuilder pb("conv_filter");
+  pb.array("image", {kPad, kPad}, 2).input();
+  pb.array("coef", {kFilters, kTaps, kTaps}, 2).input();
+  pb.array("response", {kFilters, kSize, kSize}, 2).output();
+
+  pb.begin_loop("f", 0, kFilters);
+  pb.begin_loop("y", 0, kSize);
+  pb.begin_loop("x", 0, kSize);
+  pb.begin_loop("ky", 0, kTaps);
+  pb.begin_loop("kx", 0, kTaps);
+  pb.stmt("mac", 1)
+      .read("image", {av("y") + av("ky"), av("x") + av("kx")})
+      .read("coef", {av("f"), av("ky"), av("kx")});
+  pb.end_loop();
+  pb.end_loop();
+  pb.stmt("store", 1).write("response", {av("f"), av("y"), av("x")});
+  pb.end_loop();
+  pb.end_loop();
+  pb.end_loop();
+
+  ir::Program program = pb.finish();
+  ir::validate_or_throw(program);
+  return program;
+}
+
+}  // namespace mhla::apps

@@ -1,0 +1,106 @@
+#include "apps/registry.h"
+
+#include "ir/builder.h"
+#include "ir/validate.h"
+
+namespace mhla::apps {
+
+using ir::ac;
+using ir::av;
+
+/// Frame-based FFT filter: 64 frames of 1024 samples — load, 10 butterfly
+/// stages, spectral multiply with a fixed response, 10 inverse stages,
+/// store.
+///
+/// Substitution note: butterfly strides vary per stage (non-affine); the
+/// model uses the stage-0 access pattern (k and k+512) for every stage,
+/// which preserves the property MHLA cares about: each stage touches the
+/// whole working buffer with high reuse.
+///
+/// Reuse structure MHLA should discover:
+///  * the 4 KiB working buffers (xr, xi) are re-read ~20x per frame ->
+///    on-chip homes or whole-buffer copies,
+///  * twiddle and response tables are read every butterfly -> level-0
+///    copies,
+///  * per-frame audio blocks stream through -> level-1 prefetchable copies.
+ir::Program build_fft_filter() {
+  constexpr ir::i64 kN = 1024;
+  constexpr ir::i64 kFrames = 64;
+  constexpr ir::i64 kHalf = kN / 2;
+  constexpr ir::i64 kStages = 10;
+
+  ir::ProgramBuilder pb("fft_filter");
+  pb.array("audio", {kFrames * kN}, 2).input();
+  pb.array("xr", {kN}, 4);
+  pb.array("xi", {kN}, 4);
+  pb.array("twr", {kHalf}, 4).input();
+  pb.array("twi", {kHalf}, 4).input();
+  pb.array("hr", {kN}, 4).input();
+  pb.array("hi", {kN}, 4).input();
+  pb.array("filtered", {kFrames * kN}, 2).output();
+
+  pb.begin_loop("fr", 0, kFrames);
+
+  pb.begin_loop("i", 0, kN);
+  pb.stmt("load", 1)
+      .read("audio", {av("fr", kN) + av("i")})
+      .write("xr", {av("i")})
+      .write("xi", {av("i")});
+  pb.end_loop();
+
+  pb.begin_loop("s", 0, kStages);
+  pb.begin_loop("k", 0, kHalf);
+  pb.stmt("butterfly", 6)
+      .read("xr", {av("k")})
+      .read("xr", {av("k") + ac(kHalf)})
+      .read("xi", {av("k")})
+      .read("xi", {av("k") + ac(kHalf)})
+      .read("twr", {av("k")})
+      .read("twi", {av("k")})
+      .write("xr", {av("k")})
+      .write("xr", {av("k") + ac(kHalf)})
+      .write("xi", {av("k")})
+      .write("xi", {av("k") + ac(kHalf)});
+  pb.end_loop();
+  pb.end_loop();
+
+  pb.begin_loop("i", 0, kN);
+  pb.stmt("spectral_mul", 4)
+      .read("xr", {av("i")})
+      .read("xi", {av("i")})
+      .read("hr", {av("i")})
+      .read("hi", {av("i")})
+      .write("xr", {av("i")})
+      .write("xi", {av("i")});
+  pb.end_loop();
+
+  pb.begin_loop("s2", 0, kStages);
+  pb.begin_loop("k", 0, kHalf);
+  pb.stmt("ibutterfly", 6)
+      .read("xr", {av("k")})
+      .read("xr", {av("k") + ac(kHalf)})
+      .read("xi", {av("k")})
+      .read("xi", {av("k") + ac(kHalf)})
+      .read("twr", {av("k")})
+      .read("twi", {av("k")})
+      .write("xr", {av("k")})
+      .write("xr", {av("k") + ac(kHalf)})
+      .write("xi", {av("k")})
+      .write("xi", {av("k") + ac(kHalf)});
+  pb.end_loop();
+  pb.end_loop();
+
+  pb.begin_loop("i", 0, kN);
+  pb.stmt("store", 1)
+      .read("xr", {av("i")})
+      .write("filtered", {av("fr", kN) + av("i")});
+  pb.end_loop();
+
+  pb.end_loop();
+
+  ir::Program program = pb.finish();
+  ir::validate_or_throw(program);
+  return program;
+}
+
+}  // namespace mhla::apps

@@ -1,0 +1,70 @@
+#include "apps/registry.h"
+
+#include "ir/builder.h"
+#include "ir/validate.h"
+
+namespace mhla::apps {
+
+using ir::ac;
+using ir::av;
+
+/// JPEG-like still-image compression: 256x256 8-bit input processed in 8x8
+/// blocks — load/level-shift, 2-D DCT, quantization with a zigzag-ordered
+/// emit.
+///
+/// Reuse structure MHLA should discover:
+///  * the 8x8 working block and coefficient block are tiny rw scratch arrays
+///    (ideal L1 residents),
+///  * `qtab` (128 B) and `zig` (128 B) are read once per coefficient of
+///    every block -> whole-table level-0 copies,
+///  * the input image streams through in 8-row bands -> level-1 band copies.
+ir::Program build_jpeg_compress() {
+  constexpr ir::i64 kSize = 256;
+  constexpr ir::i64 kBlocks = kSize / 8;  // 32
+
+  ir::ProgramBuilder pb("jpeg_compress");
+  pb.array("img", {kSize, kSize}, 1).input();
+  pb.array("block", {8, 8}, 2);
+  pb.array("coef", {8, 8}, 2);
+  pb.array("qtab", {8, 8}, 2).input();
+  pb.array("zig", {64}, 2).input();
+  pb.array("stream", {kBlocks, kBlocks, 64}, 2).output();
+
+  pb.begin_loop("by", 0, kBlocks);
+  pb.begin_loop("bx", 0, kBlocks);
+
+  pb.begin_loop("y", 0, 8);
+  pb.begin_loop("x", 0, 8);
+  pb.stmt("load_shift", 1)
+      .read("img", {av("by", 8) + av("y"), av("bx", 8) + av("x")})
+      .write("block", {av("y"), av("x")});
+  pb.end_loop();
+  pb.end_loop();
+
+  pb.begin_loop("u", 0, 8);
+  pb.begin_loop("v", 0, 8);
+  pb.stmt("dct8", 5)
+      .read("block", {av("u"), av("v")}, 2)  // separable row + column pass
+      .write("coef", {av("u"), av("v")});
+  pb.end_loop();
+  pb.end_loop();
+
+  pb.begin_loop("u", 0, 8);
+  pb.begin_loop("v", 0, 8);
+  pb.stmt("quant_zigzag", 3)
+      .read("coef", {av("u"), av("v")})
+      .read("qtab", {av("u"), av("v")})
+      .read("zig", {av("u", 8) + av("v")})
+      .write("stream", {av("by"), av("bx"), av("u", 8) + av("v")});
+  pb.end_loop();
+  pb.end_loop();
+
+  pb.end_loop();
+  pb.end_loop();
+
+  ir::Program program = pb.finish();
+  ir::validate_or_throw(program);
+  return program;
+}
+
+}  // namespace mhla::apps

@@ -1,0 +1,68 @@
+#include "apps/registry.h"
+
+#include "ir/builder.h"
+#include "ir/validate.h"
+
+namespace mhla::apps {
+
+using ir::ac;
+using ir::av;
+
+/// Full-search block-matching motion estimation — the paper's flagship
+/// domain.  QCIF luma (176x144), 16x16 macroblocks, +/-8 pel search window
+/// (modeled on a frame padded by 8 on every side so all subscripts stay in
+/// bounds).
+///
+/// Reuse structure MHLA should discover:
+///  * the current macroblock (256 B) is reused across all 289 candidate
+///    positions -> prime level-2 copy candidate,
+///  * the 32x32 reference search window (1 KiB) is reused within a block and
+///    slides by 16 pels between blocks -> level-2 candidate with delta
+///    transfers.
+ir::Program build_motion_estimation() {
+  constexpr ir::i64 kBlocksY = 9;    // 144 / 16
+  constexpr ir::i64 kBlocksX = 11;   // 176 / 16
+  constexpr ir::i64 kBlock = 16;
+  constexpr ir::i64 kPositions = 17;  // -8 .. +8
+
+  ir::ProgramBuilder pb("motion_estimation");
+  pb.array("sensor", {144, 176}, 1).input();
+  pb.array("cur", {144, 176}, 1);
+  pb.array("ref", {160, 192}, 1).input();   // previous frame, padded by 8
+  pb.array("mv", {kBlocksY, kBlocksX}, 2).output();
+
+  // Nest 0: frame capture / luma extraction (produces `cur`; gives the
+  // motion-estimation copies a real dependence producer for TE).
+  pb.begin_loop("cy", 0, 144);
+  pb.begin_loop("cx", 0, 176);
+  pb.stmt("capture", 1)
+      .read("sensor", {av("cy"), av("cx")})
+      .write("cur", {av("cy"), av("cx")});
+  pb.end_loop();
+  pb.end_loop();
+
+  // Nest 1: full-search block matching.
+  pb.begin_loop("by", 0, kBlocksY);
+  pb.begin_loop("bx", 0, kBlocksX);
+  pb.begin_loop("my", 0, kPositions);
+  pb.begin_loop("mx", 0, kPositions);
+  pb.begin_loop("y", 0, kBlock);
+  pb.begin_loop("x", 0, kBlock);
+  pb.stmt("sad", 2)
+      .read("cur", {av("by", kBlock) + av("y"), av("bx", kBlock) + av("x")})
+      .read("ref", {av("by", kBlock) + av("my") + av("y"),
+                    av("bx", kBlock) + av("mx") + av("x")});
+  pb.end_loop();
+  pb.end_loop();
+  pb.end_loop();
+  pb.end_loop();
+  pb.stmt("select_best", 12).write("mv", {av("by"), av("bx")});
+  pb.end_loop();
+  pb.end_loop();
+
+  ir::Program program = pb.finish();
+  ir::validate_or_throw(program);
+  return program;
+}
+
+}  // namespace mhla::apps

@@ -1,0 +1,102 @@
+#include "apps/registry.h"
+
+#include "ir/builder.h"
+#include "ir/validate.h"
+
+namespace mhla::apps {
+
+using ir::ac;
+using ir::av;
+
+/// MPEG-2-like encoder macroblock pipeline on CIF luma (352x288): coarse
+/// motion estimation, then per-macroblock motion compensation, 16x16 DCT
+/// (modeled as one transform), quantization against a weight matrix, and
+/// reconstruction.
+///
+/// Reuse structure MHLA should discover:
+///  * current macroblock and +/-4 search window copies in the ME nest,
+///  * the residual/coefficient scratch blocks (`blk`, `coef`) are tiny,
+///    heavily re-read arrays that belong in L1 wholesale,
+///  * the 512 B quantizer matrix is read for every coefficient of every
+///    macroblock -> whole-table level-0 copy.
+ir::Program build_mpeg2_encoder() {
+  constexpr ir::i64 kH = 288;
+  constexpr ir::i64 kW = 352;
+  constexpr ir::i64 kMbY = kH / 16;  // 18
+  constexpr ir::i64 kMbX = kW / 16;  // 22
+  constexpr ir::i64 kSearch = 9;     // -4 .. +4
+
+  ir::ProgramBuilder pb("mpeg2_encoder");
+  pb.array("cur", {kH, kW}, 1).input();
+  pb.array("ref", {kH + 16, kW + 16}, 1).input();  // padded by 8
+  pb.array("mvs", {kMbY, kMbX}, 2);
+  pb.array("blk", {16, 16}, 2);
+  pb.array("coef", {16, 16}, 2);
+  pb.array("qmat", {16, 16}, 2).input();
+  pb.array("recon", {kH, kW}, 1).output();
+
+  // Nest 0: motion estimation, +/-4 full search per macroblock.
+  pb.begin_loop("mby", 0, kMbY);
+  pb.begin_loop("mbx", 0, kMbX);
+  pb.begin_loop("my", 0, kSearch);
+  pb.begin_loop("mx", 0, kSearch);
+  pb.begin_loop("y", 0, 16);
+  pb.begin_loop("x", 0, 16);
+  pb.stmt("me_sad", 2)
+      .read("cur", {av("mby", 16) + av("y"), av("mbx", 16) + av("x")})
+      .read("ref", {av("mby", 16) + av("my") + av("y"), av("mbx", 16) + av("mx") + av("x")});
+  pb.end_loop();
+  pb.end_loop();
+  pb.end_loop();
+  pb.end_loop();
+  pb.stmt("me_pick", 10).write("mvs", {av("mby"), av("mbx")});
+  pb.end_loop();
+  pb.end_loop();
+
+  // Nest 1: per-macroblock compensate -> transform -> quantize -> recon.
+  pb.begin_loop("mby", 0, kMbY);
+  pb.begin_loop("mbx", 0, kMbX);
+
+  pb.begin_loop("y", 0, 16);
+  pb.begin_loop("x", 0, 16);
+  pb.stmt("compensate", 2)
+      .read("cur", {av("mby", 16) + av("y"), av("mbx", 16) + av("x")})
+      .read("ref", {av("mby", 16) + av("y") + ac(8), av("mbx", 16) + av("x") + ac(8)})
+      .write("blk", {av("y"), av("x")});
+  pb.end_loop();
+  pb.end_loop();
+
+  pb.begin_loop("u", 0, 16);
+  pb.begin_loop("v", 0, 16);
+  pb.stmt("dct", 6)
+      .read("blk", {av("u"), av("v")}, 2)  // row + column pass
+      .write("coef", {av("u"), av("v")});
+  pb.end_loop();
+  pb.end_loop();
+
+  pb.begin_loop("u", 0, 16);
+  pb.begin_loop("v", 0, 16);
+  pb.stmt("quant", 3)
+      .read("coef", {av("u"), av("v")})
+      .read("qmat", {av("u"), av("v")})
+      .write("coef", {av("u"), av("v")});
+  pb.end_loop();
+  pb.end_loop();
+
+  pb.begin_loop("u", 0, 16);
+  pb.begin_loop("v", 0, 16);
+  pb.stmt("reconstruct", 4)
+      .read("coef", {av("u"), av("v")})
+      .write("recon", {av("mby", 16) + av("u"), av("mbx", 16) + av("v")});
+  pb.end_loop();
+  pb.end_loop();
+
+  pb.end_loop();
+  pb.end_loop();
+
+  ir::Program program = pb.finish();
+  ir::validate_or_throw(program);
+  return program;
+}
+
+}  // namespace mhla::apps

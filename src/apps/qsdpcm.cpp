@@ -1,0 +1,111 @@
+#include "apps/registry.h"
+
+#include "ir/builder.h"
+#include "ir/validate.h"
+
+namespace mhla::apps {
+
+using ir::ac;
+using ir::av;
+
+/// QSDPCM (quad-tree structured DPCM) video coder front end — one of the
+/// classic DTSE video-encoding drivers: both frames are subsampled twice
+/// (2:1 each step), coarse motion detection runs on the smallest level, and
+/// the full-resolution signal is then DPCM-quantized.
+///
+/// Reuse / lifetime structure MHLA should discover:
+///  * 2x2 / 4x4 gathers during subsampling -> row-band copy candidates,
+///  * the subsampled pyramids (s2*, s4*) are small enough for on-chip homes
+///    and die after the motion-detection nest,
+///  * the coarse-ME nest re-reads 4x4 blocks across 25 candidate offsets.
+ir::Program build_qsdpcm() {
+  constexpr ir::i64 kH = 144;
+  constexpr ir::i64 kW = 176;
+
+  ir::ProgramBuilder pb("qsdpcm");
+  pb.array("cur", {kH, kW}, 1).input();
+  pb.array("prev", {kH, kW}, 1).input();
+  pb.array("s2cur", {kH / 2, kW / 2}, 1);
+  pb.array("s2prev", {kH / 2, kW / 2}, 1);
+  pb.array("s4cur", {kH / 4, kW / 4}, 1);
+  pb.array("s4prev", {kH / 4 + 8, kW / 4 + 8}, 1);  // padded for the +/-4 search
+  pb.array("mv4", {9, 11}, 2);
+  pb.array("qc", {kH, kW}, 1).output();
+
+  // Nest 0: subsample current frame 2:1.
+  pb.begin_loop("y", 0, kH / 2);
+  pb.begin_loop("x", 0, kW / 2);
+  pb.stmt("sub2_cur", 2)
+      .read("cur", {av("y", 2), av("x", 2)})
+      .read("cur", {av("y", 2), av("x", 2) + ac(1)})
+      .read("cur", {av("y", 2) + ac(1), av("x", 2)})
+      .read("cur", {av("y", 2) + ac(1), av("x", 2) + ac(1)})
+      .write("s2cur", {av("y"), av("x")});
+  pb.end_loop();
+  pb.end_loop();
+
+  // Nest 1: subsample previous frame 2:1.
+  pb.begin_loop("y", 0, kH / 2);
+  pb.begin_loop("x", 0, kW / 2);
+  pb.stmt("sub2_prev", 2)
+      .read("prev", {av("y", 2), av("x", 2)})
+      .read("prev", {av("y", 2), av("x", 2) + ac(1)})
+      .read("prev", {av("y", 2) + ac(1), av("x", 2)})
+      .read("prev", {av("y", 2) + ac(1), av("x", 2) + ac(1)})
+      .write("s2prev", {av("y"), av("x")});
+  pb.end_loop();
+  pb.end_loop();
+
+  // Nest 2: second subsampling step for both pyramids.
+  pb.begin_loop("y", 0, kH / 4);
+  pb.begin_loop("x", 0, kW / 4);
+  pb.stmt("sub4_cur", 2)
+      .read("s2cur", {av("y", 2), av("x", 2)})
+      .read("s2cur", {av("y", 2), av("x", 2) + ac(1)})
+      .read("s2cur", {av("y", 2) + ac(1), av("x", 2)})
+      .read("s2cur", {av("y", 2) + ac(1), av("x", 2) + ac(1)})
+      .write("s4cur", {av("y"), av("x")});
+  pb.stmt("sub4_prev", 2)
+      .read("s2prev", {av("y", 2), av("x", 2)})
+      .read("s2prev", {av("y", 2), av("x", 2) + ac(1)})
+      .read("s2prev", {av("y", 2) + ac(1), av("x", 2)})
+      .read("s2prev", {av("y", 2) + ac(1), av("x", 2) + ac(1)})
+      .write("s4prev", {av("y"), av("x")});
+  pb.end_loop();
+  pb.end_loop();
+
+  // Nest 3: coarse motion detection on the 4:1 level, 4x4 blocks, +/-4.
+  pb.begin_loop("by", 0, 9);
+  pb.begin_loop("bx", 0, 11);
+  pb.begin_loop("my", 0, 9);
+  pb.begin_loop("mx", 0, 9);
+  pb.begin_loop("y", 0, 4);
+  pb.begin_loop("x", 0, 4);
+  pb.stmt("sad4", 2)
+      .read("s4cur", {av("by", 4) + av("y"), av("bx", 4) + av("x")})
+      .read("s4prev", {av("by", 4) + av("my") + av("y"), av("bx", 4) + av("mx") + av("x")});
+  pb.end_loop();
+  pb.end_loop();
+  pb.end_loop();
+  pb.end_loop();
+  pb.stmt("pick_mv4", 8).write("mv4", {av("by"), av("bx")});
+  pb.end_loop();
+  pb.end_loop();
+
+  // Nest 4: full-resolution DPCM quantization against the (compensated)
+  // previous frame.
+  pb.begin_loop("y", 0, kH);
+  pb.begin_loop("x", 0, kW);
+  pb.stmt("quantize", 4)
+      .read("cur", {av("y"), av("x")})
+      .read("prev", {av("y"), av("x")})
+      .write("qc", {av("y"), av("x")});
+  pb.end_loop();
+  pb.end_loop();
+
+  ir::Program program = pb.finish();
+  ir::validate_or_throw(program);
+  return program;
+}
+
+}  // namespace mhla::apps

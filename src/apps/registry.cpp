@@ -1,0 +1,38 @@
+#include "apps/registry.h"
+
+#include <stdexcept>
+
+namespace mhla::apps {
+
+const std::vector<AppInfo>& all_apps() {
+  static const std::vector<AppInfo> apps = {
+      {"motion_estimation", "motion estimation",
+       "full-search block matching on QCIF frames, 16x16 blocks, +/-8 search", build_motion_estimation},
+      {"qsdpcm", "video encoding",
+       "quad-tree structured DPCM: hierarchical subsampling + coarse motion detection", build_qsdpcm},
+      {"mpeg2_encoder", "video encoding",
+       "MPEG-2-like macroblock pipeline: motion comp, DCT, quant, reconstruction", build_mpeg2_encoder},
+      {"cavity_detection", "image processing",
+       "medical cavity detector: gauss blur, gradient, threshold/label chain", build_cavity_detection},
+      {"jpeg_compress", "image processing",
+       "JPEG-like compression: blockwise DCT, quantization, zigzag coding", build_jpeg_compress},
+      {"wavelet", "image processing",
+       "two-level 2-D lifting wavelet with tiled vertical passes", build_wavelet},
+      {"conv_filter", "image processing",
+       "8-filter 5x5 convolution bank over one image", build_conv_filter},
+      {"adpcm_coder", "audio processing",
+       "ADPCM voice coder: framed streaming with table-driven quantization", build_adpcm_coder},
+      {"fft_filter", "audio processing",
+       "frame-based FFT filter: forward FFT, spectral multiply, inverse FFT", build_fft_filter},
+  };
+  return apps;
+}
+
+ir::Program build_app(const std::string& name) {
+  for (const AppInfo& info : all_apps()) {
+    if (info.name == name) return info.build();
+  }
+  throw std::out_of_range("build_app: unknown application '" + name + "'");
+}
+
+}  // namespace mhla::apps

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace mhla::apps {
+
+/// Catalog entry for one of the nine benchmark applications.
+///
+/// Substitution note (DESIGN.md): the paper evaluated nine proprietary
+/// industrial codes from the motion-estimation / video-encoding / image- and
+/// audio-processing domains.  These are faithful loop-nest models of the
+/// same domains; MHLA consumes only loop structure, trip counts and affine
+/// access functions, all of which are realistic here.
+struct AppInfo {
+  std::string name;
+  std::string domain;
+  std::string description;
+  ir::Program (*build)();
+};
+
+/// All nine applications, in a stable order.
+const std::vector<AppInfo>& all_apps();
+
+/// Build one application by name; throws std::out_of_range on unknown names.
+ir::Program build_app(const std::string& name);
+
+// Individual builders (each validates its program before returning).
+ir::Program build_motion_estimation();
+ir::Program build_qsdpcm();
+ir::Program build_mpeg2_encoder();
+ir::Program build_cavity_detection();
+ir::Program build_jpeg_compress();
+ir::Program build_wavelet();
+ir::Program build_conv_filter();
+ir::Program build_adpcm_coder();
+ir::Program build_fft_filter();
+
+}  // namespace mhla::apps

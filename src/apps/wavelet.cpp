@@ -1,0 +1,106 @@
+#include "apps/registry.h"
+
+#include "ir/builder.h"
+#include "ir/validate.h"
+
+namespace mhla::apps {
+
+using ir::ac;
+using ir::av;
+
+/// Two-level 2-D wavelet decomposition of a 256x256 16-bit image with
+/// 5/3-style lifting: each pass reads overlapping 3-tap windows (samples
+/// 2x, 2x+1, 2x+2), so neighbouring outputs share input samples — the data
+/// reuse MHLA exploits.  Loop bounds stop one step early so the 3-tap
+/// windows stay inside the arrays (real coders special-case the border).
+///
+/// Reuse / lifetime structure MHLA should discover:
+///  * the vertical passes read three-row bands that slide by two rows ->
+///    level-1 band copies with two-row delta transfers,
+///  * all intermediate bands (lowH, highH, lowH2, ...) die after their
+///    consumer nest -> heavy inter-array in-place sharing,
+///  * the level-2 arrays are small enough to live on-chip wholesale.
+ir::Program build_wavelet() {
+  constexpr ir::i64 kN = 256;
+
+  ir::ProgramBuilder pb("wavelet");
+  pb.array("img", {kN, kN}, 2).input();
+  pb.array("lowH", {kN, kN / 2}, 2);
+  pb.array("highH", {kN, kN / 2}, 2);
+  pb.array("LL", {kN / 2, kN / 2}, 2);
+  pb.array("LH", {kN / 2, kN / 2}, 2).output();
+  pb.array("HL", {kN / 2, kN / 2}, 2).output();
+  pb.array("HH", {kN / 2, kN / 2}, 2).output();
+  pb.array("lowH2", {kN / 2, kN / 4}, 2);
+  pb.array("highH2", {kN / 2, kN / 4}, 2);
+  pb.array("LL2", {kN / 4, kN / 4}, 2).output();
+  pb.array("LH2", {kN / 4, kN / 4}, 2).output();
+  pb.array("HL2", {kN / 4, kN / 4}, 2).output();
+  pb.array("HH2", {kN / 4, kN / 4}, 2).output();
+
+  // Nest 0: level-1 horizontal lifting pass (3-tap overlapping windows).
+  pb.begin_loop("y", 0, kN);
+  pb.begin_loop("x", 0, kN / 2 - 1);
+  pb.stmt("h1", 4)
+      .read("img", {av("y"), av("x", 2)})
+      .read("img", {av("y"), av("x", 2) + ac(1)})
+      .read("img", {av("y"), av("x", 2) + ac(2)})
+      .write("lowH", {av("y"), av("x")})
+      .write("highH", {av("y"), av("x")});
+  pb.end_loop();
+  pb.end_loop();
+
+  // Nest 1: level-1 vertical lifting pass (three-row sliding bands).
+  pb.begin_loop("y", 0, kN / 2 - 1);
+  pb.begin_loop("x", 0, kN / 2);
+  pb.stmt("v1_low", 4)
+      .read("lowH", {av("y", 2), av("x")})
+      .read("lowH", {av("y", 2) + ac(1), av("x")})
+      .read("lowH", {av("y", 2) + ac(2), av("x")})
+      .write("LL", {av("y"), av("x")})
+      .write("LH", {av("y"), av("x")});
+  pb.stmt("v1_high", 4)
+      .read("highH", {av("y", 2), av("x")})
+      .read("highH", {av("y", 2) + ac(1), av("x")})
+      .read("highH", {av("y", 2) + ac(2), av("x")})
+      .write("HL", {av("y"), av("x")})
+      .write("HH", {av("y"), av("x")});
+  pb.end_loop();
+  pb.end_loop();
+
+  // Nest 2: level-2 horizontal pass on LL.
+  pb.begin_loop("y", 0, kN / 2);
+  pb.begin_loop("x", 0, kN / 4 - 1);
+  pb.stmt("h2", 4)
+      .read("LL", {av("y"), av("x", 2)})
+      .read("LL", {av("y"), av("x", 2) + ac(1)})
+      .read("LL", {av("y"), av("x", 2) + ac(2)})
+      .write("lowH2", {av("y"), av("x")})
+      .write("highH2", {av("y"), av("x")});
+  pb.end_loop();
+  pb.end_loop();
+
+  // Nest 3: level-2 vertical pass.
+  pb.begin_loop("y", 0, kN / 4 - 1);
+  pb.begin_loop("x", 0, kN / 4);
+  pb.stmt("v2_low", 4)
+      .read("lowH2", {av("y", 2), av("x")})
+      .read("lowH2", {av("y", 2) + ac(1), av("x")})
+      .read("lowH2", {av("y", 2) + ac(2), av("x")})
+      .write("LL2", {av("y"), av("x")})
+      .write("LH2", {av("y"), av("x")});
+  pb.stmt("v2_high", 4)
+      .read("highH2", {av("y", 2), av("x")})
+      .read("highH2", {av("y", 2) + ac(1), av("x")})
+      .read("highH2", {av("y", 2) + ac(2), av("x")})
+      .write("HL2", {av("y"), av("x")})
+      .write("HH2", {av("y"), av("x")});
+  pb.end_loop();
+  pb.end_loop();
+
+  ir::Program program = pb.finish();
+  ir::validate_or_throw(program);
+  return program;
+}
+
+}  // namespace mhla::apps

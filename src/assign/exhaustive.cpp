@@ -1,0 +1,104 @@
+#include "assign/exhaustive.h"
+
+#include <stdexcept>
+
+namespace mhla::assign {
+
+namespace {
+
+struct SearchState {
+  const AssignContext& ctx;
+  const ExhaustiveOptions& options;
+  Objective objective;
+  Assignment best;
+  double best_scalar;
+  long states = 0;
+  bool budget_hit = false;
+
+  void evaluate(const Assignment& assignment) {
+    if (budget_hit) return;
+    if (++states > options.max_states) {
+      budget_hit = true;
+      return;
+    }
+    if (!fits(ctx, assignment)) return;
+    if (!layering_valid(ctx, assignment)) return;
+    double scalar = objective.scalar(estimate_cost(ctx, assignment));
+    if (scalar < best_scalar) {
+      best_scalar = scalar;
+      best = assignment;
+    }
+  }
+
+  /// Choose a layer for each copy candidate (or leave it unselected).
+  void recurse_copies(Assignment& assignment, std::size_t index) {
+    if (budget_hit) return;
+    const auto& candidates = ctx.reuse.candidates();
+    if (index == candidates.size()) {
+      evaluate(assignment);
+      return;
+    }
+    // Option A: skip this candidate.
+    recurse_copies(assignment, index + 1);
+    // Option B: place it on every on-chip layer it could fit.
+    const analysis::CopyCandidate& cc = candidates[index];
+    for (int layer = 0; layer < ctx.hierarchy.background(); ++layer) {
+      const mem::MemLayer& target = ctx.hierarchy.layer(layer);
+      if (!target.unbounded() && cc.bytes > target.capacity_bytes) continue;
+      assignment.copies.push_back({cc.id, layer});
+      recurse_copies(assignment, index + 1);
+      assignment.copies.pop_back();
+    }
+  }
+
+  /// Choose a home layer for each array, then enumerate copies.
+  void recurse_arrays(Assignment& assignment, std::size_t index) {
+    if (budget_hit) return;
+    const auto& arrays = ctx.program.arrays();
+    if (index == arrays.size()) {
+      recurse_copies(assignment, 0);
+      return;
+    }
+    const ir::ArrayDecl& array = arrays[index];
+    int last = options.allow_array_migration ? ctx.hierarchy.num_layers() - 1 : 0;
+    for (int offset = 0; offset <= last; ++offset) {
+      // Enumerate background first so small instances find the canonical
+      // everything-off-chip baseline immediately.
+      int layer = (ctx.hierarchy.background() + ctx.hierarchy.num_layers() - offset) %
+                  ctx.hierarchy.num_layers();
+      const mem::MemLayer& target = ctx.hierarchy.layer(layer);
+      if (!target.unbounded() && array.bytes() > target.capacity_bytes) continue;
+      assignment.array_layer[array.name] = layer;
+      recurse_arrays(assignment, index + 1);
+    }
+    assignment.array_layer[array.name] = ctx.hierarchy.background();
+  }
+};
+
+}  // namespace
+
+ExhaustiveResult exhaustive_assign(const AssignContext& ctx, const ExhaustiveOptions& options) {
+  std::size_t placements = ctx.reuse.candidates().size() *
+                           static_cast<std::size_t>(std::max(ctx.hierarchy.background(), 1));
+  if (placements > 24) {
+    throw std::invalid_argument(
+        "exhaustive_assign: instance too large (" + std::to_string(placements) +
+        " candidate placements); use greedy_assign");
+  }
+
+  SearchState state{ctx, options, make_objective(ctx, options.energy_weight, options.time_weight),
+                    out_of_box(ctx), 0.0, 0, false};
+  state.best_scalar = state.objective.scalar(estimate_cost(ctx, state.best));
+
+  Assignment scratch = out_of_box(ctx);
+  state.recurse_arrays(scratch, 0);
+
+  ExhaustiveResult result;
+  result.assignment = std::move(state.best);
+  result.scalar = state.best_scalar;
+  result.states_explored = state.states;
+  result.exhausted_budget = state.budget_hit;
+  return result;
+}
+
+}  // namespace mhla::assign

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "assign/cost.h"
+#include "assign/inplace.h"
+
+namespace mhla::assign {
+
+/// Options for the exhaustive (oracle) search.  Only usable on small inputs;
+/// the search space is pruned by capacity and by a hard state budget.
+struct ExhaustiveOptions {
+  double energy_weight = 1.0;
+  double time_weight = 1.0;
+  long max_states = 2'000'000;       ///< hard bound on explored states
+  bool allow_array_migration = true;
+};
+
+struct ExhaustiveResult {
+  Assignment assignment;
+  double scalar = 0.0;
+  long states_explored = 0;
+  bool exhausted_budget = false;  ///< true if the state budget was hit
+};
+
+/// Enumerate every feasible (assignment of arrays to layers) x (subset of
+/// copy candidates with a layer each) configuration and return the best
+/// under the scalarized objective.  Intended as a test oracle for the greedy
+/// heuristic and for the tool-runtime benchmark; throws std::invalid_argument
+/// if the instance is clearly too large (> 24 candidate placements).
+ExhaustiveResult exhaustive_assign(const AssignContext& ctx, const ExhaustiveOptions& options = {});
+
+}  // namespace mhla::assign

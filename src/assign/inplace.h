@@ -1,0 +1,39 @@
+#pragma once
+
+#include "assign/assignment.h"
+
+namespace mhla::assign {
+
+/// Lifetime extension of one copy buffer caused by time extensions:
+/// the buffer becomes live from `start_nest` (instead of only during its own
+/// nest) and `extra_buffers` additional buffer instances coexist during its
+/// own nest (multi-buffering for iteration lookahead).
+struct CopyExtension {
+  int cc_id = -1;
+  int start_nest = -1;   ///< -1 means "no earlier than its own nest"
+  int extra_buffers = 0;
+};
+
+/// Result of the in-place (lifetime-aware) footprint computation.
+struct FootprintReport {
+  std::vector<i64> peak_bytes;          ///< per layer, max over the time axis
+  std::vector<std::vector<i64>> usage;  ///< [layer][nest] live bytes
+  bool feasible = true;                 ///< all bounded layers within capacity
+};
+
+/// Compute per-layer peak footprints with inter-array in-place optimization:
+/// at every step of the coarse time axis (top-level nest index), a layer
+/// holds the arrays whose live ranges cover that step plus the copy buffers
+/// of that nest (extended per `extensions`).  A dead-range array contributes
+/// nothing.
+///
+/// This models the paper's "limited lifetime of the arrays" exploitation:
+/// layer usage is the *peak* concurrent footprint, not the sum of sizes.
+FootprintReport compute_footprints(const AssignContext& ctx, const Assignment& assignment,
+                                   const std::vector<CopyExtension>& extensions = {});
+
+/// Convenience: feasibility only.
+bool fits(const AssignContext& ctx, const Assignment& assignment,
+          const std::vector<CopyExtension>& extensions = {});
+
+}  // namespace mhla::assign

@@ -1,0 +1,24 @@
+#include "assign/mhla_step1.h"
+
+namespace mhla::assign {
+
+GreedyResult mhla_step1(const AssignContext& ctx, const Step1Options& options) {
+  GreedyOptions greedy = options.greedy;
+  switch (options.target) {
+    case Target::Energy:
+      greedy.energy_weight = 1.0;
+      greedy.time_weight = 0.0;
+      break;
+    case Target::Time:
+      greedy.energy_weight = 0.0;
+      greedy.time_weight = 1.0;
+      break;
+    case Target::Balanced:
+      greedy.energy_weight = 1.0;
+      greedy.time_weight = 1.0;
+      break;
+  }
+  return greedy_assign(ctx, greedy);
+}
+
+}  // namespace mhla::assign

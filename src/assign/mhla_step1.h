@@ -1,0 +1,25 @@
+#pragma once
+
+#include "assign/greedy.h"
+
+namespace mhla::assign {
+
+/// Optimization target of MHLA step 1.
+enum class Target {
+  Energy,    ///< minimize memory energy
+  Time,      ///< minimize execution cycles
+  Balanced,  ///< equal normalized weight on both (paper's trade-off points)
+};
+
+/// Step-1 driver options.
+struct Step1Options {
+  Target target = Target::Balanced;
+  GreedyOptions greedy;
+};
+
+/// Run MHLA step 1 ("selection and assignment"): generate nothing — the
+/// analyses live in the context — and steer the greedy search with the
+/// requested target weights.
+GreedyResult mhla_step1(const AssignContext& ctx, const Step1Options& options = {});
+
+}  // namespace mhla::assign

@@ -1,0 +1,47 @@
+#include "assign/static_baseline.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mhla::assign {
+
+StaticBaselineResult static_baseline_assign(const AssignContext& ctx) {
+  StaticBaselineResult result;
+  result.assignment = out_of_box(ctx);
+
+  // Rank arrays by dynamic accesses per byte, densest first.
+  struct Ranked {
+    const ir::ArrayDecl* array;
+    double density;
+  };
+  std::vector<Ranked> ranked;
+  for (const ir::ArrayDecl& array : ctx.program.arrays()) {
+    i64 accesses = 0;
+    for (const analysis::AccessSite& site : ctx.sites) {
+      if (site.access->array == array.name) accesses += site.dynamic_accesses();
+    }
+    if (accesses == 0) continue;
+    ranked.push_back({&array, static_cast<double>(accesses) / static_cast<double>(array.bytes())});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) { return a.density > b.density; });
+
+  // First-fit into the on-chip layers, closest first, sum-of-sizes model.
+  std::vector<i64> remaining;
+  for (int l = 0; l < ctx.hierarchy.background(); ++l) {
+    remaining.push_back(ctx.hierarchy.layer(l).capacity_bytes);
+  }
+  for (const Ranked& r : ranked) {
+    for (std::size_t l = 0; l < remaining.size(); ++l) {
+      if (r.array->bytes() <= remaining[l]) {
+        remaining[l] -= r.array->bytes();
+        result.assignment.array_layer[r.array->name] = static_cast<int>(l);
+        ++result.arrays_placed;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mhla::assign

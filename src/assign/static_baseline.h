@@ -1,0 +1,23 @@
+#pragma once
+
+#include "assign/cost.h"
+
+namespace mhla::assign {
+
+/// The prior-art comparison point the paper positions itself against
+/// ("most of the previous work do not explore trade-offs systematically"):
+/// classic static scratchpad allocation in the style of Panda/Dutt/Nicolau.
+///
+/// Whole arrays are ranked by access density (dynamic accesses per byte)
+/// and greedily pinned into the on-chip layers, closest layer first, using
+/// a *sum-of-sizes* capacity model — no copy candidates, no lifetime-aware
+/// in-place sharing, no prefetching.  Everything that does not fit stays
+/// off-chip.
+struct StaticBaselineResult {
+  Assignment assignment;
+  int arrays_placed = 0;
+};
+
+StaticBaselineResult static_baseline_assign(const AssignContext& ctx);
+
+}  // namespace mhla::assign

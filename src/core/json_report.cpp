@@ -1,0 +1,98 @@
+#include "core/json_report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace mhla::core {
+
+namespace {
+
+std::string pad(int indent) { return std::string(static_cast<std::size_t>(indent) * 2, ' '); }
+
+std::string num(double value) {
+  std::ostringstream out;
+  out << std::setprecision(15) << value;
+  return out.str();
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream esc;
+          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0') << static_cast<int>(c);
+          out += esc.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const sim::SimResult& result, int indent) {
+  std::ostringstream out;
+  std::string p0 = pad(indent);
+  std::string p1 = pad(indent + 1);
+  std::string p2 = pad(indent + 2);
+  out << p0 << "{\n";
+  out << p1 << "\"total_cycles\": " << num(result.total_cycles()) << ",\n";
+  out << p1 << "\"compute_cycles\": " << num(result.compute_cycles) << ",\n";
+  out << p1 << "\"access_cycles\": " << num(result.access_cycles) << ",\n";
+  out << p1 << "\"stall_cycles\": " << num(result.stall_cycles) << ",\n";
+  out << p1 << "\"energy_nj\": " << num(result.energy_nj) << ",\n";
+  out << p1 << "\"dma_busy_cycles\": " << num(result.dma_busy_cycles) << ",\n";
+  out << p1 << "\"block_transfer_streams\": " << result.num_block_transfers << ",\n";
+  out << p1 << "\"feasible\": " << (result.feasible ? "true" : "false") << ",\n";
+  out << p1 << "\"layers\": [\n";
+  for (std::size_t l = 0; l < result.layers.size(); ++l) {
+    const sim::LayerStats& layer = result.layers[l];
+    out << p2 << "{\"name\": \"" << json_escape(layer.name) << "\", \"reads\": " << layer.reads
+        << ", \"writes\": " << layer.writes << ", \"energy_nj\": " << num(layer.energy_nj) << "}"
+        << (l + 1 < result.layers.size() ? "," : "") << "\n";
+  }
+  out << p1 << "]\n";
+  out << p0 << "}";
+  return out.str();
+}
+
+std::string to_json(const std::string& app_name, const sim::FourPoint& points, int indent) {
+  std::ostringstream out;
+  std::string p0 = pad(indent);
+  std::string p1 = pad(indent + 1);
+  out << p0 << "{\n";
+  out << p1 << "\"application\": \"" << json_escape(app_name) << "\",\n";
+  out << p1 << "\"out_of_box\":\n" << to_json(points.out_of_box, indent + 1) << ",\n";
+  out << p1 << "\"mhla\":\n" << to_json(points.mhla, indent + 1) << ",\n";
+  out << p1 << "\"mhla_te\":\n" << to_json(points.mhla_te, indent + 1) << ",\n";
+  out << p1 << "\"ideal\":\n" << to_json(points.ideal, indent + 1) << "\n";
+  out << p0 << "}";
+  return out.str();
+}
+
+std::string to_json(const std::vector<xplore::TradeoffPoint>& points, int indent) {
+  std::ostringstream out;
+  std::string p0 = pad(indent);
+  std::string p1 = pad(indent + 1);
+  out << p0 << "[\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const xplore::TradeoffPoint& point = points[i];
+    out << p1 << "{\"l1_bytes\": " << point.l1_bytes << ", \"l2_bytes\": " << point.l2_bytes
+        << ", \"cycles\": " << num(point.cycles) << ", \"energy_nj\": " << num(point.energy_nj)
+        << "}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << p0 << "]";
+  return out.str();
+}
+
+}  // namespace mhla::core

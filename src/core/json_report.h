@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "explore/pareto.h"
+#include "sim/simulator.h"
+
+namespace mhla::core {
+
+/// Machine-readable result export (JSON), so the reproduced figures can be
+/// plotted without scraping the text tables.  Emission only — the library
+/// never needs to parse these back.
+
+/// One simulation result as a JSON object.
+std::string to_json(const sim::SimResult& result, int indent = 0);
+
+/// The four reference points of Figure 2/3 for one application.
+std::string to_json(const std::string& app_name, const sim::FourPoint& points, int indent = 0);
+
+/// A trade-off sample set (e.g. a sweep or its Pareto frontier).
+std::string to_json(const std::vector<xplore::TradeoffPoint>& points, int indent = 0);
+
+/// Escape a string for embedding in JSON.
+std::string json_escape(const std::string& text);
+
+}  // namespace mhla::core

@@ -1,0 +1,48 @@
+#include "core/report_table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace mhla::core {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int digits) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(digits) << value;
+  return out.str();
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c == 0) {
+        out << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+      } else {
+        out << "  " << std::right << std::setw(static_cast<int>(widths[c])) << cells[c];
+      }
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  out << std::string(total + 2 * (widths.size() - 1), '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+}  // namespace mhla::core

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mhla::core {
+
+/// Minimal fixed-width text table used by the benchmark harnesses to print
+/// the reproduced figure rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns (first column left, rest right aligned).
+  std::string str() const;
+
+  /// Format helper: fixed-point with `digits` decimals.
+  static std::string num(double value, int digits = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mhla::core

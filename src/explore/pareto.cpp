@@ -1,0 +1,33 @@
+#include "explore/pareto.h"
+
+#include <algorithm>
+
+namespace mhla::xplore {
+
+std::vector<TradeoffPoint> pareto_front(std::vector<TradeoffPoint> points) {
+  std::vector<TradeoffPoint> front;
+  for (const TradeoffPoint& candidate : points) {
+    bool dominated = std::any_of(points.begin(), points.end(), [&](const TradeoffPoint& other) {
+      return other.dominates(candidate);
+    });
+    if (dominated) continue;
+    // Equal-cost duplicates: keep the smallest on-chip configuration.
+    auto equal = std::find_if(front.begin(), front.end(), [&](const TradeoffPoint& kept) {
+      return kept.cycles == candidate.cycles && kept.energy_nj == candidate.energy_nj;
+    });
+    if (equal != front.end()) {
+      if (candidate.l1_bytes + candidate.l2_bytes < equal->l1_bytes + equal->l2_bytes) {
+        *equal = candidate;
+      }
+      continue;
+    }
+    front.push_back(candidate);
+  }
+  std::sort(front.begin(), front.end(), [](const TradeoffPoint& a, const TradeoffPoint& b) {
+    if (a.cycles != b.cycles) return a.cycles < b.cycles;
+    return a.energy_nj < b.energy_nj;
+  });
+  return front;
+}
+
+}  // namespace mhla::xplore

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "ir/affine.h"
+
+namespace mhla::xplore {
+
+using ir::i64;
+
+/// One point of a trade-off exploration: an on-chip configuration with its
+/// measured cost pair.
+struct TradeoffPoint {
+  i64 l1_bytes = 0;
+  i64 l2_bytes = 0;
+  double cycles = 0.0;
+  double energy_nj = 0.0;
+
+  /// Dominance for minimization on (cycles, energy).
+  bool dominates(const TradeoffPoint& other) const {
+    bool no_worse = cycles <= other.cycles && energy_nj <= other.energy_nj;
+    bool better = cycles < other.cycles || energy_nj < other.energy_nj;
+    return no_worse && better;
+  }
+};
+
+/// Filter to the Pareto frontier (minimizing cycles and energy), sorted by
+/// ascending cycles.  Duplicate-cost points keep the smallest configuration.
+std::vector<TradeoffPoint> pareto_front(std::vector<TradeoffPoint> points);
+
+}  // namespace mhla::xplore

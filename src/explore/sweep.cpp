@@ -1,0 +1,61 @@
+#include "explore/sweep.h"
+
+namespace mhla::xplore {
+
+SweepConfig default_sweep() {
+  SweepConfig config;
+  for (i64 size = 256; size <= 64 * 1024; size *= 2) config.l1_sizes.push_back(size);
+  config.l2_sizes = {0, 64 * 1024, 256 * 1024};
+  return config;
+}
+
+std::vector<SweepSample> sweep_layer_sizes(const ir::Program& program, const SweepConfig& config) {
+  std::vector<SweepSample> samples;
+
+  // Program-level analyses are hierarchy independent; run them once.
+  std::vector<analysis::AccessSite> sites = analysis::collect_sites(program);
+  analysis::ReuseAnalysis reuse = analysis::ReuseAnalysis::run(program, sites);
+  std::map<std::string, analysis::LiveRange> live = analysis::array_live_ranges(program, sites);
+  analysis::DependenceInfo deps = analysis::DependenceInfo::run(program, sites);
+
+  for (i64 l2 : config.l2_sizes) {
+    for (i64 l1 : config.l1_sizes) {
+      mem::PlatformConfig platform;
+      platform.l1_bytes = l1;
+      platform.l2_bytes = l2;
+      platform.sram = config.sram;
+      platform.sdram = config.sdram;
+      mem::Hierarchy hierarchy = mem::make_hierarchy(platform);
+
+      assign::AssignContext ctx{program, sites, reuse, live, deps, hierarchy, config.dma};
+      assign::Step1Options step1;
+      step1.target = config.target;
+      assign::GreedyResult greedy = assign::mhla_step1(ctx, step1);
+
+      sim::SimOptions sim_options;
+      sim_options.mode = config.with_te && config.dma.present
+                             ? te::TransferMode::TimeExtended
+                             : te::TransferMode::Blocking;
+      sim::SimResult result = sim::simulate(ctx, greedy.assignment, sim_options);
+
+      SweepSample sample;
+      sample.point.l1_bytes = l1;
+      sample.point.l2_bytes = l2;
+      sample.point.cycles = result.total_cycles();
+      sample.point.energy_nj = result.energy_nj;
+      sample.assignment = std::move(greedy.assignment);
+      sample.te_applied = sim_options.mode == te::TransferMode::TimeExtended;
+      samples.push_back(std::move(sample));
+    }
+  }
+  return samples;
+}
+
+std::vector<TradeoffPoint> frontier(const std::vector<SweepSample>& samples) {
+  std::vector<TradeoffPoint> points;
+  points.reserve(samples.size());
+  for (const SweepSample& sample : samples) points.push_back(sample.point);
+  return pareto_front(std::move(points));
+}
+
+}  // namespace mhla::xplore

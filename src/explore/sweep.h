@@ -1,0 +1,40 @@
+#pragma once
+
+#include "assign/mhla_step1.h"
+#include "explore/pareto.h"
+#include "sim/simulator.h"
+
+namespace mhla::xplore {
+
+/// One evaluated configuration of a sweep.
+struct SweepSample {
+  TradeoffPoint point;
+  assign::Assignment assignment;
+  bool te_applied = false;
+};
+
+/// Parameters of a layer-size sweep: the candidate L1 and L2 capacities
+/// (bytes; 0 disables a layer for that sample) and the optimization target.
+struct SweepConfig {
+  std::vector<i64> l1_sizes;
+  std::vector<i64> l2_sizes;
+  assign::Target target = assign::Target::Balanced;
+  bool with_te = true;
+  mem::SramModelParams sram;
+  mem::SdramModelParams sdram;
+  mem::DmaEngine dma;
+};
+
+/// Default sweep grid used by the trade-off benchmark:
+/// L1 in {256 B .. 64 KiB} (powers of two), L2 in {0, 64 KiB, 256 KiB}.
+SweepConfig default_sweep();
+
+/// Run MHLA (and optionally TE) for every (L1, L2) combination of the grid
+/// and return every sample.  The program is analyzed once per hierarchy
+/// because energy/latency models depend on the layer sizes.
+std::vector<SweepSample> sweep_layer_sizes(const ir::Program& program, const SweepConfig& config);
+
+/// Pareto frontier of a sample set.
+std::vector<TradeoffPoint> frontier(const std::vector<SweepSample>& samples);
+
+}  // namespace mhla::xplore

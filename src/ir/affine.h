@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mhla::ir {
+
+using i64 = std::int64_t;
+
+/// A linear (affine) integer expression over named loop iterators:
+///
+///   constant + sum_k coef_k * var_k
+///
+/// This is the only index-expression form the MHLA analyses need: array
+/// subscripts in the supported application domain (multimedia loop nests)
+/// are affine in the enclosing loop iterators.  Value type, cheap to copy.
+class AffineExpr {
+ public:
+  /// The zero expression.
+  AffineExpr() = default;
+
+  /// A constant expression.
+  explicit AffineExpr(i64 constant) : constant_(constant) {}
+
+  /// The expression `coef * var`.
+  static AffineExpr variable(const std::string& var, i64 coef = 1);
+
+  /// Constant term.
+  i64 constant() const { return constant_; }
+
+  /// Coefficient of `var` (0 if absent).
+  i64 coef(const std::string& var) const;
+
+  /// All (variable, coefficient) terms with non-zero coefficient,
+  /// ordered by variable name.
+  const std::map<std::string, i64>& terms() const { return terms_; }
+
+  /// True iff the expression has no variable terms.
+  bool is_constant() const { return terms_.empty(); }
+
+  /// Evaluate under a binding of every referenced variable.
+  /// Throws std::out_of_range if a referenced variable is unbound.
+  i64 evaluate(const std::map<std::string, i64>& binding) const;
+
+  AffineExpr& operator+=(const AffineExpr& rhs);
+  AffineExpr& operator-=(const AffineExpr& rhs);
+  AffineExpr& operator*=(i64 scale);
+
+  friend bool operator==(const AffineExpr&, const AffineExpr&) = default;
+
+  /// Human-readable form, e.g. "16*by + dy + 3".
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, i64> terms_;
+  i64 constant_ = 0;
+};
+
+AffineExpr operator+(AffineExpr lhs, const AffineExpr& rhs);
+AffineExpr operator-(AffineExpr lhs, const AffineExpr& rhs);
+AffineExpr operator*(i64 scale, AffineExpr expr);
+
+/// Shorthand builders used pervasively by the application models:
+///   av("i")        -> i
+///   av("i", 16)    -> 16*i
+///   ac(3)          -> 3
+AffineExpr av(const std::string& var, i64 coef = 1);
+AffineExpr ac(i64 constant);
+
+/// Replace every occurrence of `var` in `expr` with `replacement`
+/// (affine-in-affine substitution stays affine).  Returns `expr` unchanged
+/// if `var` does not occur.
+AffineExpr substitute(const AffineExpr& expr, const std::string& var,
+                      const AffineExpr& replacement);
+
+}  // namespace mhla::ir

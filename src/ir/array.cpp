@@ -1,0 +1,5 @@
+#include "ir/array.h"
+
+// ArrayDecl is a plain aggregate; this translation unit exists so the module
+// has a stable object for the archive even if the header becomes header-only.
+namespace mhla::ir {}

@@ -1,0 +1,90 @@
+#include "ir/builder.h"
+
+#include <stdexcept>
+
+namespace mhla::ir {
+
+ProgramBuilder::ProgramBuilder(std::string name) : program_(std::move(name)) {}
+
+ProgramBuilder::ArrayRef& ProgramBuilder::ArrayRef::input() {
+  const_cast<ArrayDecl&>(pb_.program_.arrays()[idx_]).is_input = true;
+  return *this;
+}
+
+ProgramBuilder::ArrayRef& ProgramBuilder::ArrayRef::output() {
+  const_cast<ArrayDecl&>(pb_.program_.arrays()[idx_]).is_output = true;
+  return *this;
+}
+
+ProgramBuilder::StmtRef& ProgramBuilder::StmtRef::read(const std::string& array,
+                                                       std::vector<AffineExpr> index,
+                                                       i64 count) {
+  stmt_.add_access({array, AccessKind::Read, std::move(index), count});
+  return *this;
+}
+
+ProgramBuilder::StmtRef& ProgramBuilder::StmtRef::write(const std::string& array,
+                                                        std::vector<AffineExpr> index,
+                                                        i64 count) {
+  stmt_.add_access({array, AccessKind::Write, std::move(index), count});
+  return *this;
+}
+
+ProgramBuilder::ArrayRef ProgramBuilder::array(const std::string& name, std::vector<i64> dims,
+                                               i64 elem_bytes) {
+  ArrayDecl decl;
+  decl.name = name;
+  decl.dims = std::move(dims);
+  decl.elem_bytes = elem_bytes;
+  program_.add_array(std::move(decl));
+  return ArrayRef(*this, program_.arrays().size() - 1);
+}
+
+ProgramBuilder& ProgramBuilder::begin_loop(const std::string& iter, i64 lower, i64 upper,
+                                           i64 step) {
+  for (const LoopNode* open : open_loops_) {
+    if (open->iter() == iter) {
+      throw std::logic_error("ProgramBuilder: iterator '" + iter + "' shadows an open loop");
+    }
+  }
+  auto loop = std::make_unique<LoopNode>(iter, lower, upper, step);
+  LoopNode* raw = loop.get();
+  place(std::move(loop));
+  open_loops_.push_back(raw);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::end_loop() {
+  if (open_loops_.empty()) {
+    throw std::logic_error("ProgramBuilder::end_loop: no open loop");
+  }
+  open_loops_.pop_back();
+  return *this;
+}
+
+ProgramBuilder::StmtRef ProgramBuilder::stmt(const std::string& name, i64 op_cycles) {
+  auto node = std::make_unique<StmtNode>(name, op_cycles);
+  StmtNode* raw = node.get();
+  place(std::move(node));
+  return StmtRef(*raw);
+}
+
+void ProgramBuilder::place(NodePtr node) {
+  if (finished_) throw std::logic_error("ProgramBuilder: reuse after finish()");
+  if (open_loops_.empty()) {
+    program_.append_top(std::move(node));
+  } else {
+    open_loops_.back()->append(std::move(node));
+  }
+}
+
+Program ProgramBuilder::finish() {
+  if (!open_loops_.empty()) {
+    throw std::logic_error("ProgramBuilder::finish: unclosed loop '" +
+                           open_loops_.back()->iter() + "'");
+  }
+  finished_ = true;
+  return std::move(program_);
+}
+
+}  // namespace mhla::ir

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace mhla::ir {
+
+/// Stack-based fluent builder for Programs.
+///
+///   ProgramBuilder pb("me");
+///   pb.array("frame", {H, W}, 1).input();
+///   pb.begin_loop("by", 0, H / 16);
+///     pb.begin_loop("bx", 0, W / 16);
+///       pb.stmt("sad", 2)
+///           .read("frame", {av("by", 16), av("bx", 16)})
+///           .write("mv", {av("by"), av("bx")});
+///     pb.end_loop();
+///   pb.end_loop();
+///   Program p = pb.finish();
+class ProgramBuilder {
+ public:
+  /// Fluent handle for tweaking the most recently declared array.
+  class ArrayRef {
+   public:
+    ArrayRef(ProgramBuilder& pb, std::size_t idx) : pb_(pb), idx_(idx) {}
+    ArrayRef& input();   ///< mark live before program start
+    ArrayRef& output();  ///< mark live after program end
+
+   private:
+    ProgramBuilder& pb_;
+    std::size_t idx_;
+  };
+
+  /// Fluent handle for adding accesses to the most recent statement.
+  class StmtRef {
+   public:
+    explicit StmtRef(StmtNode& stmt) : stmt_(stmt) {}
+    StmtRef& read(const std::string& array, std::vector<AffineExpr> index, i64 count = 1);
+    StmtRef& write(const std::string& array, std::vector<AffineExpr> index, i64 count = 1);
+
+   private:
+    StmtNode& stmt_;
+  };
+
+  explicit ProgramBuilder(std::string name);
+
+  /// Declare an array with the given extents and element size.
+  ArrayRef array(const std::string& name, std::vector<i64> dims, i64 elem_bytes = 4);
+
+  /// Open a loop; subsequent nodes go into its body until end_loop().
+  ProgramBuilder& begin_loop(const std::string& iter, i64 lower, i64 upper, i64 step = 1);
+
+  /// Close the innermost open loop.  Throws std::logic_error if none is open.
+  ProgramBuilder& end_loop();
+
+  /// Add a statement at the current nesting point.
+  StmtRef stmt(const std::string& name, i64 op_cycles = 1);
+
+  /// Finalize; throws std::logic_error if loops remain open.
+  /// The builder is left empty and must not be reused.
+  Program finish();
+
+ private:
+  void place(NodePtr node);
+
+  Program program_;
+  std::vector<LoopNode*> open_loops_;
+  bool finished_ = false;
+};
+
+}  // namespace mhla::ir

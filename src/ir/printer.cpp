@@ -1,0 +1,55 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace mhla::ir {
+
+namespace {
+
+void print_node(std::ostringstream& out, const Node& node, int indent) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (node.is_loop()) {
+    const LoopNode& loop = node.as_loop();
+    out << pad << "for (" << loop.iter() << " = " << loop.lower() << "; " << loop.iter() << " < "
+        << loop.upper() << "; " << loop.iter() << " += " << loop.step() << ") {\n";
+    for (const NodePtr& child : loop.body()) print_node(out, *child, indent + 1);
+    out << pad << "}\n";
+    return;
+  }
+  const StmtNode& stmt = node.as_stmt();
+  out << pad << stmt.name() << ":  // " << stmt.op_cycles() << " op cycles\n";
+  for (const ArrayAccess& access : stmt.accesses()) {
+    out << pad << "  " << (access.kind == AccessKind::Read ? "read " : "write ") << access.array;
+    for (const AffineExpr& idx : access.index) out << "[" << idx.to_string() << "]";
+    if (access.count != 1) out << " x" << access.count;
+    out << "\n";
+  }
+}
+
+}  // namespace
+
+std::string to_string(const Node& node, int indent) {
+  std::ostringstream out;
+  print_node(out, node, indent);
+  return out.str();
+}
+
+std::string to_string(const Program& program) {
+  std::ostringstream out;
+  out << "program " << program.name() << "\n";
+  for (const ArrayDecl& array : program.arrays()) {
+    out << "  array " << array.name;
+    for (i64 d : array.dims) out << "[" << d << "]";
+    out << " (" << array.elem_bytes << "B elems, " << array.bytes() << "B total";
+    if (array.is_input) out << ", input";
+    if (array.is_output) out << ", output";
+    out << ")\n";
+  }
+  for (std::size_t nest = 0; nest < program.top().size(); ++nest) {
+    out << "  nest " << nest << ":\n";
+    out << to_string(*program.top()[nest], 2);
+  }
+  return out.str();
+}
+
+}  // namespace mhla::ir

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace mhla::ir {
+
+/// Pretty-print a whole program as pseudo-C (arrays, loops, statements with
+/// their accesses).  Intended for debugging and documentation output.
+std::string to_string(const Program& program);
+
+/// Pretty-print one node subtree at the given indent level.
+std::string to_string(const Node& node, int indent = 0);
+
+}  // namespace mhla::ir

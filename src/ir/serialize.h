@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace mhla::ir {
+
+/// Plain-text program format, round-trippable through parse_program():
+///
+///   program motion_estimation
+///   array cur 144 176 : elem 1 input
+///   array mv 9 11 : elem 2 output
+///   loop by 0 9 1 {
+///     loop y 0 16 1 {
+///       stmt sad ops 2 {
+///         read cur [16*by+y] [x]
+///         write mv [by] [bx] x3
+///       }
+///     }
+///   }
+///
+/// One declaration per line; loops close with a bare '}'.  Affine
+/// subscripts are written without spaces: `16*by+y-3`.  The optional
+/// trailing `xN` on an access is the per-instance access count.
+///
+/// The ATOMIUM front end the paper used consumed (pruned) C source; this
+/// format is our substitution for an external application-description
+/// boundary (see DESIGN.md).
+std::string serialize(const Program& program);
+
+/// Parse the format back; throws std::invalid_argument with a line number
+/// on malformed input.  `serialize(parse_program(serialize(p)))` is the
+/// identity for every valid program.
+Program parse_program(const std::string& text);
+
+/// Parse one affine expression, e.g. "16*by+y-3".  Exposed for tests.
+AffineExpr parse_affine(const std::string& text);
+
+/// Serialize one affine expression in the compact format.
+std::string format_affine(const AffineExpr& expr);
+
+}  // namespace mhla::ir

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+
+#include "ir/program.h"
+
+namespace mhla::ir {
+
+/// Loop transformations on the IR.
+///
+/// MHLA (and the paper's DTSE methodology it belongs to) assumes the
+/// access-locality loop transformations have been applied *before* layer
+/// assignment; the paper lists their interaction as future work.  These
+/// utilities implement the two transformations that matter most for copy
+/// candidates — strip-mining/tiling (creates new loop levels and therefore
+/// new, smaller copy candidates) and loop interchange (moves reuse
+/// carried by an outer loop inward) — so that their effect on MHLA can be
+/// studied (see bench/tiling_ablation).
+///
+/// All transformations are *pure*: they rebuild a new Program and leave the
+/// input untouched.  They throw std::invalid_argument when the request
+/// does not apply (unknown loop, non-divisible tile, non-perfect nesting
+/// for interchange).
+
+/// Strip-mine the loop named `iter` (searched anywhere in the program) into
+/// an outer loop `iter` with step `tile` ... actually into
+///   for (iter_t = lo; iter_t < hi; iter_t += tile)
+///     for (iter   = iter_t; iter < iter_t + tile; ++iter)  [conceptually]
+/// which in this constant-bounds IR is expressed as
+///   for (iter_o = 0; iter_o < trip/tile; ++iter_o)
+///     for (iter_i = 0; iter_i < tile; ++iter_i)
+/// with every use of `iter` in subscripts rewritten to
+///   step*(tile*iter_o + iter_i) + lo.
+/// Requires trip % tile == 0.  New iterators are named `iter + "_o"` /
+/// `iter + "_i"`.
+Program tile_loop(const Program& program, const std::string& iter, i64 tile);
+
+/// Interchange the loop named `iter` with its single, perfectly nested
+/// child loop (the child must be the loop's only body node).
+Program interchange(const Program& program, const std::string& iter);
+
+/// Fuse the top-level loop nests at positions `first` and `first + 1` into
+/// one loop.  Both must be loops with identical (lower, upper, step); the
+/// second nest's iterator is renamed to the first's and its body appended.
+///
+/// Legality is checked conservatively per producer/consumer array (written
+/// in the first nest, read in the second): along every array dimension the
+/// read may not run ahead of the cumulative writes — the fused-iterator
+/// coefficients must match with the read interval contained in the write
+/// interval, and negative coefficients are rejected outright.  Throws
+/// std::invalid_argument when fusion cannot be proven safe.
+///
+/// Fusion is the classic enabler for cross-nest reuse: after fusing a
+/// producer nest with its consumer, a single on-chip copy can serve the
+/// write and the read, eliminating the round trip through the array's home
+/// layer.
+Program fuse_nests(const Program& program, std::size_t first);
+
+/// Count dynamic statement instances — transformations must preserve this
+/// (used by the tests as the semantic invariant).
+i64 dynamic_statement_instances(const Program& program);
+
+}  // namespace mhla::ir

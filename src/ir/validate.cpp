@@ -1,0 +1,105 @@
+#include "ir/validate.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "ir/walk.h"
+
+namespace mhla::ir {
+
+namespace {
+
+/// Minimum and maximum of an affine expression over the box spanned by the
+/// enclosing loops (each iterator ranges over its loop's values).
+struct Range {
+  i64 lo = 0;
+  i64 hi = 0;
+};
+
+Range subscript_range(const AffineExpr& expr, const LoopPath& path) {
+  Range r{expr.constant(), expr.constant()};
+  for (const auto& [var, coef] : expr.terms()) {
+    const LoopNode* loop = nullptr;
+    for (const LoopNode* candidate : path) {
+      if (candidate->iter() == var) {
+        loop = candidate;
+        break;
+      }
+    }
+    if (!loop || loop->trip() == 0) continue;  // unbound vars reported separately
+    i64 first = loop->lower();
+    i64 last = loop->lower() + (loop->trip() - 1) * loop->step();
+    i64 a = coef * first;
+    i64 b = coef * last;
+    r.lo += std::min(a, b);
+    r.hi += std::max(a, b);
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<ValidationIssue> validate(const Program& program) {
+  std::vector<ValidationIssue> issues;
+  auto report = [&](const std::string& message) { issues.push_back({message}); };
+
+  walk_statements(program, [&](int nest, const LoopPath& path, const StmtNode& stmt) {
+    for (const LoopNode* loop : path) {
+      if (loop->trip() <= 0) {
+        report("nest " + std::to_string(nest) + ": loop '" + loop->iter() +
+               "' has non-positive trip count");
+      }
+    }
+    for (const ArrayAccess& access : stmt.accesses()) {
+      const ArrayDecl* array = program.find_array(access.array);
+      if (!array) {
+        report("statement '" + stmt.name() + "' accesses undeclared array '" + access.array + "'");
+        continue;
+      }
+      if (static_cast<int>(access.index.size()) != array->rank()) {
+        report("statement '" + stmt.name() + "': access to '" + access.array + "' has " +
+               std::to_string(access.index.size()) + " subscripts, array rank is " +
+               std::to_string(array->rank()));
+        continue;
+      }
+      if (access.count <= 0) {
+        report("statement '" + stmt.name() + "': access to '" + access.array +
+               "' has non-positive count");
+      }
+      for (int dim = 0; dim < array->rank(); ++dim) {
+        const AffineExpr& expr = access.index[static_cast<std::size_t>(dim)];
+        for (const auto& [var, coef] : expr.terms()) {
+          (void)coef;
+          bool bound = std::any_of(path.begin(), path.end(), [&](const LoopNode* loop) {
+            return loop->iter() == var;
+          });
+          if (!bound) {
+            report("statement '" + stmt.name() + "': subscript variable '" + var +
+                   "' is not bound by an enclosing loop");
+          }
+        }
+        Range r = subscript_range(expr, path);
+        if (r.lo < 0 || r.hi >= array->dims[static_cast<std::size_t>(dim)]) {
+          std::ostringstream msg;
+          msg << "statement '" << stmt.name() << "': subscript " << expr.to_string() << " of '"
+              << access.array << "' dim " << dim << " spans [" << r.lo << ", " << r.hi
+              << "] outside [0, " << array->dims[static_cast<std::size_t>(dim)] - 1 << "]";
+          report(msg.str());
+        }
+      }
+    }
+  });
+  return issues;
+}
+
+void validate_or_throw(const Program& program) {
+  std::vector<ValidationIssue> issues = validate(program);
+  if (issues.empty()) return;
+  std::ostringstream msg;
+  msg << "program '" << program.name() << "' failed validation:";
+  for (const ValidationIssue& issue : issues) msg << "\n  - " << issue.message;
+  throw std::invalid_argument(msg.str());
+}
+
+}  // namespace mhla::ir

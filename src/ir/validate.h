@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace mhla::ir {
+
+/// One validation problem, with a human-readable description.
+struct ValidationIssue {
+  std::string message;
+};
+
+/// Structural validation of a program:
+///  * every access names a declared array,
+///  * subscript rank matches array rank,
+///  * every subscript variable is bound by an enclosing loop,
+///  * loop trip counts are positive,
+///  * extreme subscript values stay inside the array extents
+///    (bounding-box check over the enclosing loop ranges).
+std::vector<ValidationIssue> validate(const Program& program);
+
+/// Throws std::invalid_argument listing all issues if validation fails.
+void validate_or_throw(const Program& program);
+
+}  // namespace mhla::ir

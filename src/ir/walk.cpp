@@ -1,0 +1,45 @@
+#include "ir/walk.h"
+
+namespace mhla::ir {
+
+namespace {
+
+void walk_impl(const Node& node, LoopPath& path,
+               const std::function<void(const LoopPath&, const StmtNode&)>& fn) {
+  if (node.is_stmt()) {
+    fn(path, node.as_stmt());
+    return;
+  }
+  const LoopNode& loop = node.as_loop();
+  path.push_back(&loop);
+  for (const NodePtr& child : loop.body()) walk_impl(*child, path, fn);
+  path.pop_back();
+}
+
+}  // namespace
+
+void walk_statements(const Node& node,
+                     const std::function<void(const LoopPath&, const StmtNode&)>& fn) {
+  LoopPath path;
+  walk_impl(node, path, fn);
+}
+
+void walk_statements(const Program& program,
+                     const std::function<void(int, const LoopPath&, const StmtNode&)>& fn) {
+  for (std::size_t nest = 0; nest < program.top().size(); ++nest) {
+    walk_statements(*program.top()[nest],
+                    [&](const LoopPath& path, const StmtNode& stmt) {
+                      fn(static_cast<int>(nest), path, stmt);
+                    });
+  }
+}
+
+i64 iterations_of(const LoopPath& path, std::size_t count) {
+  i64 iters = 1;
+  for (std::size_t i = 0; i < count && i < path.size(); ++i) iters *= path[i]->trip();
+  return iters;
+}
+
+i64 iterations_of(const LoopPath& path) { return iterations_of(path, path.size()); }
+
+}  // namespace mhla::ir

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace mhla::ir {
+
+/// Path of enclosing loops from outermost to innermost.
+using LoopPath = std::vector<const LoopNode*>;
+
+/// Visit every statement of `node`'s subtree in program order; `path`
+/// collects the enclosing loops inside that subtree.
+void walk_statements(const Node& node,
+                     const std::function<void(const LoopPath&, const StmtNode&)>& fn);
+
+/// Visit every statement of the whole program in program order.
+/// The callback additionally receives the index of the top-level node
+/// ("nest index"), which is the coarse time axis used by the analyses.
+void walk_statements(const Program& program,
+                     const std::function<void(int nest, const LoopPath&, const StmtNode&)>& fn);
+
+/// Product of trip counts of `path[0..count)`.
+i64 iterations_of(const LoopPath& path, std::size_t count);
+
+/// Product of all trip counts of `path`.
+i64 iterations_of(const LoopPath& path);
+
+}  // namespace mhla::ir

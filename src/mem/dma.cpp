@@ -1,0 +1,20 @@
+#include "mem/dma.h"
+
+#include <algorithm>
+
+namespace mhla::mem {
+
+double DmaEngine::transfer_cycles(i64 bytes, const MemLayer& src, const MemLayer& dst) const {
+  double bw = std::min({bytes_per_cycle, src.bytes_per_cycle, dst.bytes_per_cycle});
+  bw = std::max(bw, 1e-9);
+  return static_cast<double>(setup_cycles) + static_cast<double>(bytes) / bw;
+}
+
+double blocking_transfer_cycles(i64 bytes, const MemLayer& src, const MemLayer& dst,
+                                const DmaEngine& dma) {
+  // The CPU issues the transfer and waits for completion; same occupancy
+  // formula, the difference is who waits.
+  return dma.transfer_cycles(bytes, src, dst);
+}
+
+}  // namespace mhla::mem

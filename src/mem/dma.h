@@ -1,0 +1,28 @@
+#pragma once
+
+#include "mem/layer.h"
+
+namespace mhla::mem {
+
+/// Model of the memory transfer engine (DMA / data mover) the paper's time
+/// extensions rely on: the engine moves blocks between layers while the CPU
+/// keeps computing.  Without such an engine, every block transfer blocks the
+/// processor and TE is not applicable (paper, section 1).
+struct DmaEngine {
+  bool present = true;
+  int setup_cycles = 30;        ///< per block-transfer programming overhead
+  double bytes_per_cycle = 2.0; ///< engine-side sustained bandwidth
+  int channels = 1;             ///< concurrent outstanding transfers
+
+  /// Cycles one block transfer of `bytes` occupies the engine, given the
+  /// source and destination layer bandwidths (min of the three).
+  double transfer_cycles(i64 bytes, const MemLayer& src, const MemLayer& dst) const;
+};
+
+/// Cycles a *blocking* (CPU-driven, no DMA overlap) transfer of `bytes`
+/// costs the processor.  Used when no engine is present and for MHLA step 1
+/// before time extensions are applied.
+double blocking_transfer_cycles(i64 bytes, const MemLayer& src, const MemLayer& dst,
+                                const DmaEngine& dma);
+
+}  // namespace mhla::mem

@@ -1,0 +1,88 @@
+#include "mem/energy_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mhla::mem {
+
+SramModelParams sram_params_for(TechNode node) {
+  SramModelParams params;  // defaults are the 130 nm calibration
+  switch (node) {
+    case TechNode::Nm180:
+      params.base_energy_nj = 0.035;
+      params.slope_energy_nj = 0.0042;
+      params.bytes_per_cycle = 4.0;
+      break;
+    case TechNode::Nm130:
+      break;
+    case TechNode::Nm90:
+      params.base_energy_nj = 0.011;
+      params.slope_energy_nj = 0.0014;
+      params.bytes_per_cycle = 16.0;
+      break;
+  }
+  return params;
+}
+
+SdramModelParams sdram_params_for(TechNode node) {
+  SdramModelParams params;  // defaults are the 130 nm calibration
+  switch (node) {
+    case TechNode::Nm180:
+      params.read_energy_nj = 5.2;
+      params.write_energy_nj = 5.7;
+      params.read_latency = 24;
+      params.write_latency = 24;
+      break;
+    case TechNode::Nm130:
+      break;
+    case TechNode::Nm90:
+      // Off-chip I/O barely improves: the on-chip/off-chip gap widens.
+      params.read_energy_nj = 3.4;
+      params.write_energy_nj = 3.7;
+      params.read_latency = 18;
+      params.write_latency = 18;
+      break;
+  }
+  return params;
+}
+
+double sram_read_energy_nj(i64 capacity_bytes, const SramModelParams& params) {
+  double cap = static_cast<double>(std::max<i64>(capacity_bytes, 1));
+  return params.base_energy_nj + params.slope_energy_nj * std::sqrt(cap);
+}
+
+int sram_read_latency(i64 capacity_bytes, const SramModelParams& params) {
+  i64 extra = capacity_bytes / std::max<i64>(params.latency_step_bytes, 1);
+  return params.base_latency + static_cast<int>(extra);
+}
+
+MemLayer make_sram_layer(const std::string& name, i64 capacity_bytes,
+                         const SramModelParams& params) {
+  MemLayer layer;
+  layer.name = name;
+  layer.tech = MemTech::Sram;
+  layer.capacity_bytes = capacity_bytes;
+  layer.read_energy_nj = sram_read_energy_nj(capacity_bytes, params);
+  layer.write_energy_nj = layer.read_energy_nj * params.write_factor;
+  layer.read_latency = sram_read_latency(capacity_bytes, params);
+  layer.write_latency = layer.read_latency;
+  layer.bytes_per_cycle = params.bytes_per_cycle;
+  layer.on_chip = true;
+  return layer;
+}
+
+MemLayer make_sdram_layer(const std::string& name, const SdramModelParams& params) {
+  MemLayer layer;
+  layer.name = name;
+  layer.tech = MemTech::Sdram;
+  layer.capacity_bytes = 0;  // unbounded
+  layer.read_energy_nj = params.read_energy_nj;
+  layer.write_energy_nj = params.write_energy_nj;
+  layer.read_latency = params.read_latency;
+  layer.write_latency = params.write_latency;
+  layer.bytes_per_cycle = params.bytes_per_cycle;
+  layer.on_chip = false;
+  return layer;
+}
+
+}  // namespace mhla::mem

@@ -1,0 +1,59 @@
+#pragma once
+
+#include "mem/layer.h"
+
+namespace mhla::mem {
+
+/// Analytic energy/latency model for on-chip SRAM scratchpads, in the spirit
+/// of CACTI-class models: per-access energy and latency grow with capacity
+/// (bitline/wordline lengths scale with the square root of the bit count).
+///
+/// Substitution note (see DESIGN.md): the paper used proprietary vendor
+/// models.  MHLA only needs monotone energy/latency vs. size plus a large
+/// on-chip/off-chip gap; the constants below are representative of a
+/// 0.13 um embedded process and preserve the trade-off shapes.
+struct SramModelParams {
+  double base_energy_nj = 0.02;    ///< decoder/sense fixed cost
+  double slope_energy_nj = 0.0025; ///< per sqrt(byte) cost
+  double write_factor = 1.15;      ///< writes slightly costlier than reads
+  int base_latency = 1;
+  i64 latency_step_bytes = 32 * 1024;  ///< +1 cycle per 32 KiB of capacity
+  double bytes_per_cycle = 8.0;
+};
+
+/// Off-chip SDRAM: flat, high per-access cost dominated by I/O.
+struct SdramModelParams {
+  double read_energy_nj = 4.0;
+  double write_energy_nj = 4.4;
+  int read_latency = 20;
+  int write_latency = 20;
+  double bytes_per_cycle = 2.0;
+};
+
+/// Process nodes with calibrated model presets.  The paper's era was
+/// 180/130 nm; 90 nm is included to study how the trade-offs move as
+/// on-chip access energy shrinks relative to off-chip I/O (which scales
+/// much more slowly).
+enum class TechNode { Nm180, Nm130, Nm90 };
+
+/// SRAM model constants for a process node.
+SramModelParams sram_params_for(TechNode node);
+
+/// SDRAM (off-chip) model constants for a process node.  I/O energy and
+/// latency improve far less than logic across nodes.
+SdramModelParams sdram_params_for(TechNode node);
+
+/// Per-access read energy of an on-chip SRAM of `capacity_bytes`.
+double sram_read_energy_nj(i64 capacity_bytes, const SramModelParams& params = {});
+
+/// Per-access read latency (cycles) of an on-chip SRAM of `capacity_bytes`.
+int sram_read_latency(i64 capacity_bytes, const SramModelParams& params = {});
+
+/// Build a fully-populated on-chip SRAM layer of the given capacity.
+MemLayer make_sram_layer(const std::string& name, i64 capacity_bytes,
+                         const SramModelParams& params = {});
+
+/// Build the off-chip SDRAM background layer (unbounded capacity).
+MemLayer make_sdram_layer(const std::string& name, const SdramModelParams& params = {});
+
+}  // namespace mhla::mem

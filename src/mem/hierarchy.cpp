@@ -1,0 +1,44 @@
+#include "mem/hierarchy.h"
+
+#include <stdexcept>
+
+namespace mhla::mem {
+
+Hierarchy::Hierarchy(std::vector<MemLayer> layers) : layers_(std::move(layers)) {
+  if (layers_.empty()) {
+    throw std::invalid_argument("Hierarchy: needs at least one layer");
+  }
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    if (layers_[i].unbounded()) {
+      throw std::invalid_argument("Hierarchy: only the background layer may be unbounded");
+    }
+  }
+  if (!layers_.back().unbounded()) {
+    throw std::invalid_argument("Hierarchy: background (last) layer must be unbounded");
+  }
+  if (layers_.back().on_chip) {
+    throw std::invalid_argument("Hierarchy: background layer must be off-chip");
+  }
+}
+
+i64 Hierarchy::on_chip_capacity() const {
+  i64 total = 0;
+  for (const MemLayer& layer : layers_) {
+    if (layer.on_chip) total += layer.capacity_bytes;
+  }
+  return total;
+}
+
+Hierarchy make_hierarchy(const PlatformConfig& config) {
+  std::vector<MemLayer> layers;
+  if (config.l1_bytes > 0) {
+    layers.push_back(make_sram_layer("L1", config.l1_bytes, config.sram));
+  }
+  if (config.l2_bytes > 0) {
+    layers.push_back(make_sram_layer("L2", config.l2_bytes, config.sram));
+  }
+  layers.push_back(make_sdram_layer("SDRAM", config.sdram));
+  return Hierarchy(std::move(layers));
+}
+
+}  // namespace mhla::mem

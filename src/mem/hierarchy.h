@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "mem/energy_model.h"
+#include "mem/layer.h"
+
+namespace mhla::mem {
+
+/// An ordered memory hierarchy: layer 0 is the closest to the processor,
+/// the last layer is the off-chip background memory.  Invariant: exactly
+/// the last layer is unbounded and off-chip.
+class Hierarchy {
+ public:
+  /// Build from explicit layers; validates the invariant and throws
+  /// std::invalid_argument on violation.
+  explicit Hierarchy(std::vector<MemLayer> layers);
+
+  const std::vector<MemLayer>& layers() const { return layers_; }
+  const MemLayer& layer(int index) const { return layers_.at(static_cast<std::size_t>(index)); }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+  /// Index of the off-chip background layer (always the last).
+  int background() const { return num_layers() - 1; }
+
+  /// Sum of on-chip capacities (the "on-chip size constraint" of the paper).
+  i64 on_chip_capacity() const;
+
+  bool is_on_chip(int index) const { return layer(index).on_chip; }
+
+ private:
+  std::vector<MemLayer> layers_;
+};
+
+/// Platform description used across the experiments: a two-level on-chip
+/// scratchpad hierarchy (L1, L2) over off-chip SDRAM — the typical setup of
+/// the paper's ATOMIUM targets.  Either on-chip layer may be omitted by
+/// passing capacity 0.
+struct PlatformConfig {
+  i64 l1_bytes = 4 * 1024;
+  i64 l2_bytes = 128 * 1024;
+  SramModelParams sram;
+  SdramModelParams sdram;
+};
+
+/// Build a hierarchy from the platform description.
+Hierarchy make_hierarchy(const PlatformConfig& config);
+
+}  // namespace mhla::mem

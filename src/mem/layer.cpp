@@ -1,0 +1,4 @@
+#include "mem/layer.h"
+
+// MemLayer is a plain aggregate; kept as a .cpp for archive stability.
+namespace mhla::mem {}

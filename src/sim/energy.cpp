@@ -1,0 +1,31 @@
+#include "sim/energy.h"
+
+namespace mhla::sim {
+
+double tally_energy_nj(const mem::Hierarchy& hierarchy, const AccessTally& tally) {
+  double energy = 0.0;
+  for (int l = 0; l < hierarchy.num_layers(); ++l) {
+    const mem::MemLayer& layer = hierarchy.layer(l);
+    energy += static_cast<double>(tally.reads[static_cast<std::size_t>(l)]) * layer.read_energy_nj;
+    energy +=
+        static_cast<double>(tally.writes[static_cast<std::size_t>(l)]) * layer.write_energy_nj;
+  }
+  return energy;
+}
+
+std::vector<LayerStats> layer_stats(const mem::Hierarchy& hierarchy, const AccessTally& tally) {
+  std::vector<LayerStats> stats;
+  for (int l = 0; l < hierarchy.num_layers(); ++l) {
+    const mem::MemLayer& layer = hierarchy.layer(l);
+    LayerStats s;
+    s.name = layer.name;
+    s.reads = tally.reads[static_cast<std::size_t>(l)];
+    s.writes = tally.writes[static_cast<std::size_t>(l)];
+    s.energy_nj = static_cast<double>(s.reads) * layer.read_energy_nj +
+                  static_cast<double>(s.writes) * layer.write_energy_nj;
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+}  // namespace mhla::sim

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "mem/hierarchy.h"
+#include "sim/access_map.h"
+
+namespace mhla::sim {
+
+/// Per-layer simulation statistics.
+struct LayerStats {
+  std::string name;
+  i64 reads = 0;
+  i64 writes = 0;
+  double energy_nj = 0.0;
+};
+
+/// Energy of a tally under the hierarchy's per-access models.
+/// Exactly the paper's model: only memory-hierarchy accesses consume energy,
+/// so execution-time changes (TE) never show up here.
+double tally_energy_nj(const mem::Hierarchy& hierarchy, const AccessTally& tally);
+
+/// Expand a tally into labeled per-layer statistics.
+std::vector<LayerStats> layer_stats(const mem::Hierarchy& hierarchy, const AccessTally& tally);
+
+}  // namespace mhla::sim

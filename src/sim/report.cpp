@@ -1,0 +1,49 @@
+#include "sim/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace mhla::sim {
+
+double percent_of(double value, double base) {
+  if (base <= 0.0) return 100.0;
+  return 100.0 * value / base;
+}
+
+std::string format_result(const SimResult& result) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(0);
+  out << "cycles: " << result.total_cycles() << " (compute " << result.compute_cycles
+      << ", access " << result.access_cycles << ", stall " << result.stall_cycles << ")\n";
+  out << std::setprecision(1);
+  out << "energy: " << result.energy_nj << " nJ\n";
+  out << "dma busy: " << std::setprecision(0) << result.dma_busy_cycles << " cycles over "
+      << result.num_block_transfers << " BT streams\n";
+  for (const LayerStats& layer : result.layers) {
+    out << "  " << std::left << std::setw(8) << layer.name << " reads " << std::right
+        << std::setw(12) << layer.reads << "  writes " << std::setw(12) << layer.writes
+        << "  energy " << std::setprecision(1) << layer.energy_nj << " nJ\n";
+  }
+  out << (result.feasible ? "capacity: ok\n" : "capacity: VIOLATED\n");
+  return out.str();
+}
+
+std::string format_four_points(const std::string& app_name, const FourPoint& fp) {
+  double base_cycles = fp.out_of_box.total_cycles();
+  double base_energy = fp.out_of_box.energy_nj;
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1);
+  out << app_name << "\n";
+  auto row = [&](const char* label, const SimResult& r) {
+    out << "  " << std::left << std::setw(12) << label << " time "
+        << std::right << std::setw(6) << percent_of(r.total_cycles(), base_cycles)
+        << " %   energy " << std::setw(6) << percent_of(r.energy_nj, base_energy) << " %\n";
+  };
+  row("out-of-box", fp.out_of_box);
+  row("MHLA", fp.mhla);
+  row("MHLA+TE", fp.mhla_te);
+  row("ideal", fp.ideal);
+  return out.str();
+}
+
+}  // namespace mhla::sim

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace mhla::sim {
+
+/// Multi-line human-readable dump of one simulation result.
+std::string format_result(const SimResult& result);
+
+/// The paper's normalized presentation: out-of-box = 100 %, one row per
+/// configuration, cycles and energy side by side.
+std::string format_four_points(const std::string& app_name, const FourPoint& fp);
+
+/// Percentage helper: value as percent of base (100.0 if base is 0).
+double percent_of(double value, double base);
+
+}  // namespace mhla::sim

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "te/extension.h"
+
+namespace mhla::te {
+
+/// How block transfers are charged to the processor.
+enum class TransferMode {
+  Blocking,      ///< MHLA step 1: the CPU waits out every transfer
+  TimeExtended,  ///< step 2: TE-hidden cycles are overlapped with compute
+  Ideal,         ///< paper's reference bar: every transfer costs 0 wait cycles
+};
+
+/// Residual processor stall cycles of one BT stream under a mode.
+/// In TimeExtended mode `ext` must be the BT's extension record.
+double bt_stall_cycles(const BlockTransfer& bt, TransferMode mode, const BtExtension* ext);
+
+/// Total residual stall over a BT list (+ write-back flush streams, which
+/// are never prefetchable and always block in non-ideal modes).
+double total_stall_cycles(const std::vector<BlockTransfer>& bts, TransferMode mode,
+                          const TeResult* te);
+
+/// Total DMA-engine busy cycles of a BT list (mode independent).
+double total_dma_busy_cycles(const std::vector<BlockTransfer>& bts);
+
+}  // namespace mhla::te

@@ -1,0 +1,89 @@
+#include "analysis/dependence.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace mhla::analysis {
+namespace {
+
+using ir::ac;
+using ir::av;
+
+DependenceInfo deps_of(const ir::Program& p) {
+  auto sites = collect_sites(p);
+  return DependenceInfo::run(p, sites);
+}
+
+ir::Program three_nest_program() {
+  // nest0 writes a; nest1 writes a again and b; nest2 reads both.
+  ir::ProgramBuilder pb("p");
+  pb.array("a", {8}, 4);
+  pb.array("b", {8}, 4);
+  pb.array("in", {8}, 4).input();
+  pb.begin_loop("i", 0, 8);
+  pb.stmt("s0", 1).read("in", {av("i")}).write("a", {av("i")});
+  pb.end_loop();
+  pb.begin_loop("j", 0, 8);
+  pb.stmt("s1", 1).write("a", {av("j")}).write("b", {av("j")});
+  pb.end_loop();
+  pb.begin_loop("k", 0, 8);
+  pb.stmt("s2", 1).read("a", {av("k")}).read("b", {av("k")});
+  pb.end_loop();
+  return pb.finish();
+}
+
+TEST(Dependence, WriterNests) {
+  ir::Program p = three_nest_program();
+  DependenceInfo deps = deps_of(p);
+  EXPECT_EQ(deps.writer_nests("a"), (std::vector<int>{0, 1}));
+  EXPECT_EQ(deps.writer_nests("b"), (std::vector<int>{1}));
+  EXPECT_TRUE(deps.writer_nests("in").empty());
+}
+
+TEST(Dependence, ProducerBeforePicksLatest) {
+  ir::Program p = three_nest_program();
+  DependenceInfo deps = deps_of(p);
+  EXPECT_EQ(deps.producer_before("a", 2), 1);
+  EXPECT_EQ(deps.producer_before("a", 1), 0);
+  EXPECT_EQ(deps.producer_before("a", 0), -1);
+}
+
+TEST(Dependence, InputsHaveNoProducer) {
+  ir::Program p = three_nest_program();
+  DependenceInfo deps = deps_of(p);
+  EXPECT_EQ(deps.producer_before("in", 2), -1);
+}
+
+TEST(Dependence, UnknownArrayBehavesAsInput) {
+  ir::Program p = three_nest_program();
+  DependenceInfo deps = deps_of(p);
+  EXPECT_EQ(deps.producer_before("nope", 1), -1);
+  EXPECT_TRUE(deps.writer_nests("nope").empty());
+}
+
+TEST(Dependence, FreedomNests) {
+  ir::Program p = three_nest_program();
+  DependenceInfo deps = deps_of(p);
+  // a consumed in nest 2, produced in nest 1: no whole nest in between.
+  EXPECT_EQ(deps.freedom_nests("a", 2), 0);
+  // b produced in nest 1, consumed in nest 2: same.
+  EXPECT_EQ(deps.freedom_nests("b", 2), 0);
+  // input read in nest 2: the whole prefix (nests 0 and 1) is available.
+  EXPECT_EQ(deps.freedom_nests("in", 2), 2);
+}
+
+TEST(Dependence, SameNestWriteDoesNotCount) {
+  // A write in the same nest is not "before" it.
+  ir::ProgramBuilder pb("p");
+  pb.array("a", {8}, 4);
+  pb.begin_loop("i", 0, 8);
+  pb.stmt("s", 1).write("a", {av("i")}).read("a", {av("i")});
+  pb.end_loop();
+  ir::Program p = pb.finish();
+  DependenceInfo deps = deps_of(p);
+  EXPECT_EQ(deps.producer_before("a", 0), -1);
+}
+
+}  // namespace
+}  // namespace mhla::analysis

@@ -1,0 +1,125 @@
+#include "analysis/lifetime.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace mhla::analysis {
+namespace {
+
+using ir::ac;
+using ir::av;
+
+std::map<std::string, LiveRange> ranges_of(const ir::Program& p) {
+  auto sites = collect_sites(p);
+  return array_live_ranges(p, sites);
+}
+
+ir::Program chain_program(bool mark_io) {
+  // nest0: src -> mid, nest1: mid -> dst, nest2: dst re-read.
+  ir::ProgramBuilder pb("p");
+  auto src = pb.array("src", {8}, 4);
+  pb.array("mid", {8}, 4);
+  auto dst = pb.array("dst", {8}, 4);
+  if (mark_io) {
+    src.input();
+    dst.output();
+  }
+  pb.begin_loop("i", 0, 8);
+  pb.stmt("s0", 1).read("src", {av("i")}).write("mid", {av("i")});
+  pb.end_loop();
+  pb.begin_loop("j", 0, 8);
+  pb.stmt("s1", 1).read("mid", {av("j")}).write("dst", {av("j")});
+  pb.end_loop();
+  pb.begin_loop("k", 0, 8);
+  pb.stmt("s2", 1).read("dst", {av("k")});
+  pb.end_loop();
+  return pb.finish();
+}
+
+TEST(Lifetime, RangesFollowAccesses) {
+  ir::Program p = chain_program(false);
+  auto ranges = ranges_of(p);
+  EXPECT_EQ(ranges["src"].first, 0);
+  EXPECT_EQ(ranges["src"].last, 0);
+  EXPECT_EQ(ranges["mid"].first, 0);
+  EXPECT_EQ(ranges["mid"].last, 1);
+  EXPECT_EQ(ranges["dst"].first, 1);
+  EXPECT_EQ(ranges["dst"].last, 2);
+}
+
+TEST(Lifetime, InputPinnedToStartOutputToEnd) {
+  ir::Program p = chain_program(true);
+  auto ranges = ranges_of(p);
+  EXPECT_EQ(ranges["src"].first, 0);
+  EXPECT_EQ(ranges["dst"].last, 2);
+}
+
+TEST(Lifetime, OutputExtendsPastLastAccess) {
+  ir::ProgramBuilder pb("p");
+  pb.array("early_out", {8}, 4).output();
+  pb.begin_loop("i", 0, 8);
+  pb.stmt("s0", 1).write("early_out", {av("i")});
+  pb.end_loop();
+  pb.begin_loop("j", 0, 8);
+  pb.stmt("s1", 2);
+  pb.end_loop();
+  ir::Program p = pb.finish();
+  auto ranges = ranges_of(p);
+  EXPECT_EQ(ranges["early_out"].first, 0);
+  EXPECT_EQ(ranges["early_out"].last, 1);  // pinned to final nest
+}
+
+TEST(Lifetime, UnaccessedArrayIsDead) {
+  ir::ProgramBuilder pb("p");
+  pb.array("ghost", {8}, 4);
+  pb.begin_loop("i", 0, 4);
+  pb.stmt("s", 1);
+  pb.end_loop();
+  ir::Program p = pb.finish();
+  auto ranges = ranges_of(p);
+  EXPECT_TRUE(is_dead(ranges["ghost"]));
+}
+
+TEST(Lifetime, OverlapPredicate) {
+  LiveRange a{0, 2};
+  LiveRange b{2, 4};
+  LiveRange c{3, 5};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(b.overlaps(c));
+}
+
+TEST(Lifetime, LengthIsInclusive) {
+  EXPECT_EQ((LiveRange{1, 3}).length(), 3);
+  EXPECT_EQ((LiveRange{2, 2}).length(), 1);
+}
+
+TEST(Lifetime, DisjointIntermediatesEnableInPlace) {
+  // Two intermediates, each live in a single disjoint window — the property
+  // the in-place optimizer exploits.
+  ir::ProgramBuilder pb("p");
+  pb.array("in", {8}, 4).input();
+  pb.array("t0", {8}, 4);
+  pb.array("t1", {8}, 4);
+  pb.array("out", {8}, 4).output();
+  pb.begin_loop("a", 0, 8);
+  pb.stmt("s0", 1).read("in", {av("a")}).write("t0", {av("a")});
+  pb.end_loop();
+  pb.begin_loop("b", 0, 8);
+  pb.stmt("s1", 1).read("t0", {av("b")}).write("t1", {av("b")});
+  pb.end_loop();
+  pb.begin_loop("c", 0, 8);
+  pb.stmt("s2", 1).read("t1", {av("c")}).write("out", {av("c")});
+  pb.end_loop();
+  auto ranges = ranges_of(pb.finish());
+  EXPECT_EQ(ranges["t0"].last, 1);
+  EXPECT_EQ(ranges["t1"].first, 1);
+  // t0 dies exactly when t1 is born: they overlap only at nest 1.
+  EXPECT_TRUE(ranges["t0"].overlaps(ranges["t1"]));
+  EXPECT_FALSE((LiveRange{ranges["t0"].first, 0}).overlaps(ranges["t1"]));
+}
+
+}  // namespace
+}  // namespace mhla::analysis

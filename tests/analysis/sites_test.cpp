@@ -1,0 +1,77 @@
+#include "analysis/sites.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace mhla::analysis {
+namespace {
+
+using ir::ac;
+using ir::av;
+
+TEST(Sites, CollectsInProgramOrderWithDenseIds) {
+  ir::ProgramBuilder pb("p");
+  pb.array("a", {8}, 4);
+  pb.array("b", {8}, 4);
+  pb.begin_loop("i", 0, 8);
+  pb.stmt("s0", 1).read("a", {av("i")}).write("b", {av("i")});
+  pb.end_loop();
+  pb.begin_loop("j", 0, 4);
+  pb.stmt("s1", 1).read("b", {av("j")});
+  pb.end_loop();
+  ir::Program p = pb.finish();
+
+  auto sites = collect_sites(p);
+  ASSERT_EQ(sites.size(), 3u);
+  for (std::size_t k = 0; k < sites.size(); ++k) {
+    EXPECT_EQ(sites[k].id, static_cast<int>(k));
+  }
+  EXPECT_EQ(sites[0].access->array, "a");
+  EXPECT_EQ(sites[1].access->array, "b");
+  EXPECT_EQ(sites[2].access->array, "b");
+  EXPECT_EQ(sites[0].nest, 0);
+  EXPECT_EQ(sites[2].nest, 1);
+}
+
+TEST(Sites, KindsAndDynamicCounts) {
+  ir::ProgramBuilder pb("p");
+  pb.array("a", {8, 8}, 4);
+  pb.begin_loop("i", 0, 8);
+  pb.begin_loop("j", 0, 8);
+  pb.stmt("s", 1).read("a", {av("i"), av("j")}, 2).write("a", {av("i"), av("j")});
+  pb.end_loop();
+  pb.end_loop();
+  auto p = pb.finish();
+  auto sites = collect_sites(p);
+  ASSERT_EQ(sites.size(), 2u);
+  EXPECT_TRUE(sites[0].is_read());
+  EXPECT_FALSE(sites[0].is_write());
+  EXPECT_EQ(sites[0].iterations(), 64);
+  EXPECT_EQ(sites[0].dynamic_accesses(), 128);  // count = 2
+  EXPECT_TRUE(sites[1].is_write());
+  EXPECT_EQ(sites[1].dynamic_accesses(), 64);
+}
+
+TEST(Sites, ResolvesArrayPointers) {
+  ir::ProgramBuilder pb("p");
+  pb.array("a", {8}, 2);
+  pb.begin_loop("i", 0, 8);
+  pb.stmt("s", 1).read("a", {av("i")});
+  pb.end_loop();
+  auto p = pb.finish();
+  auto sites = collect_sites(p);
+  ASSERT_NE(sites[0].array, nullptr);
+  EXPECT_EQ(sites[0].array->name, "a");
+  EXPECT_EQ(sites[0].array->elem_bytes, 2);
+}
+
+TEST(Sites, EmptyProgram) {
+  ir::ProgramBuilder pb("p");
+  pb.array("a", {8}, 4);
+  auto p = pb.finish();
+  EXPECT_TRUE(collect_sites(p).empty());
+}
+
+}  // namespace
+}  // namespace mhla::analysis

@@ -1,0 +1,187 @@
+#include "assign/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+
+namespace mhla::assign {
+namespace {
+
+using testing::blocked_reuse_program;
+using testing::make_ws;
+
+TEST(Assignment, OutOfBoxPutsEverythingInBackground) {
+  auto ws = make_ws(blocked_reuse_program());
+  Assignment a = out_of_box(ws->context());
+  int background = ws->hierarchy().background();
+  for (const ir::ArrayDecl& array : ws->program().arrays()) {
+    EXPECT_EQ(a.layer_of(array.name, -1), background);
+  }
+  EXPECT_TRUE(a.copies.empty());
+}
+
+TEST(Assignment, CopyLayerLookup) {
+  Assignment a;
+  a.copies.push_back({3, 1});
+  EXPECT_EQ(a.copy_layer(3), 1);
+  EXPECT_EQ(a.copy_layer(7), -1);
+  EXPECT_TRUE(a.has_copy(3));
+  EXPECT_FALSE(a.has_copy(7));
+}
+
+TEST(Assignment, LayerOfFallback) {
+  Assignment a;
+  a.array_layer["x"] = 0;
+  EXPECT_EQ(a.layer_of("x", 9), 0);
+  EXPECT_EQ(a.layer_of("y", 9), 9);
+}
+
+TEST(Coverage, CcCoversItsMemberSites) {
+  auto ws = make_ws(blocked_reuse_program());
+  for (const analysis::CopyCandidate& cc : ws->reuse().candidates()) {
+    for (int site_id : cc.site_ids) {
+      EXPECT_TRUE(cc_covers_site(cc, ws->sites()[static_cast<std::size_t>(site_id)]))
+          << "cc " << cc.id << " site " << site_id;
+    }
+  }
+}
+
+TEST(Coverage, CcDoesNotCoverOtherNests) {
+  auto ws = make_ws(testing::producer_consumer_program());
+  for (const analysis::CopyCandidate& cc : ws->reuse().candidates()) {
+    for (const analysis::AccessSite& site : ws->sites()) {
+      if (site.nest != cc.nest) {
+        EXPECT_FALSE(cc_covers_site(cc, site));
+      }
+    }
+  }
+}
+
+TEST(Ancestry, ChainIsOrderedByLevel) {
+  auto ws = make_ws(blocked_reuse_program());
+  const auto& ccs = ws->reuse().candidates();
+  for (const auto& parent : ccs) {
+    for (const auto& child : ccs) {
+      if (cc_is_ancestor(parent, child)) {
+        EXPECT_LT(parent.level, child.level);
+        EXPECT_EQ(parent.array, child.array);
+        EXPECT_EQ(parent.nest, child.nest);
+        EXPECT_FALSE(cc_is_ancestor(child, parent));
+      }
+    }
+  }
+}
+
+TEST(Resolve, NoCopiesServesFromHomeLayer) {
+  auto ws = make_ws(blocked_reuse_program());
+  auto ctx = ws->context();
+  Resolution res = resolve(ctx, out_of_box(ctx));
+  for (int layer : res.site_layer) EXPECT_EQ(layer, ctx.hierarchy.background());
+  EXPECT_TRUE(res.transfers.empty());
+}
+
+TEST(Resolve, DeepestSelectedCopyWins) {
+  auto ws = make_ws(blocked_reuse_program());
+  auto ctx = ws->context();
+
+  // Pick the level-0 and level-1 candidates of "data".
+  int cc0 = -1;
+  int cc1 = -1;
+  for (const auto& cc : ctx.reuse.candidates()) {
+    if (cc.array != "data") continue;
+    if (cc.level == 0) cc0 = cc.id;
+    if (cc.level == 1) cc1 = cc.id;
+  }
+  ASSERT_GE(cc0, 0);
+  ASSERT_GE(cc1, 0);
+
+  Assignment a = out_of_box(ctx);
+  a.copies.push_back({cc0, 1});  // level 0 -> L2
+  a.copies.push_back({cc1, 0});  // level 1 -> L1
+  Resolution res = resolve(ctx, a);
+
+  // The data read site must be served by the deeper (level-1) copy in L1.
+  for (const analysis::AccessSite& site : ctx.sites) {
+    if (site.access->array == "data") {
+      EXPECT_EQ(res.site_layer[static_cast<std::size_t>(site.id)], 0);
+    }
+  }
+
+  // Chain: level-1 fills from level-0 (L2), level-0 fills from SDRAM.
+  for (const TransferEdge& edge : res.transfers) {
+    if (edge.cc_id == cc1) {
+      EXPECT_EQ(edge.src_layer, 1);
+      EXPECT_EQ(edge.dst_layer, 0);
+    }
+    if (edge.cc_id == cc0) {
+      EXPECT_EQ(edge.src_layer, ctx.hierarchy.background());
+      EXPECT_EQ(edge.dst_layer, 1);
+    }
+  }
+}
+
+TEST(Resolve, WriteBackFlagFollowsWrites) {
+  auto ws = make_ws(testing::producer_consumer_program());
+  auto ctx = ws->context();
+  Assignment a = out_of_box(ctx);
+  for (const auto& cc : ctx.reuse.candidates()) {
+    if (cc.array == "mid" && cc.level == 0 && cc.nest == 0) {
+      a.copies.push_back({cc.id, 0});
+      break;
+    }
+  }
+  ASSERT_EQ(a.copies.size(), 1u);
+  Resolution res = resolve(ctx, a);
+  ASSERT_EQ(res.transfers.size(), 1u);
+  EXPECT_TRUE(res.transfers[0].write_back);  // mid is written in nest 0
+}
+
+TEST(Resolve, RejectsUnknownCcId) {
+  auto ws = make_ws(blocked_reuse_program());
+  auto ctx = ws->context();
+  Assignment a = out_of_box(ctx);
+  a.copies.push_back({99999, 0});
+  EXPECT_THROW(resolve(ctx, a), std::invalid_argument);
+}
+
+TEST(Resolve, RejectsUnknownLayer) {
+  auto ws = make_ws(blocked_reuse_program());
+  auto ctx = ws->context();
+  Assignment a = out_of_box(ctx);
+  a.copies.push_back({0, 42});
+  EXPECT_THROW(resolve(ctx, a), std::invalid_argument);
+}
+
+TEST(LayeringValid, CopyBelowParentIsValid) {
+  auto ws = make_ws(blocked_reuse_program());
+  auto ctx = ws->context();
+  Assignment a = out_of_box(ctx);
+  a.copies.push_back({0, 0});  // any cc into L1, array home is SDRAM
+  EXPECT_TRUE(layering_valid(ctx, a));
+}
+
+TEST(LayeringValid, CopyAtParentLayerIsInvalid) {
+  auto ws = make_ws(blocked_reuse_program());
+  auto ctx = ws->context();
+  Assignment a = out_of_box(ctx);
+  a.copies.push_back({0, ctx.hierarchy.background()});  // copy on SDRAM itself
+  EXPECT_FALSE(layering_valid(ctx, a));
+}
+
+TEST(LayeringValid, ArrayOnChipWithCopyAboveIsInvalid) {
+  auto ws = make_ws(blocked_reuse_program());
+  auto ctx = ws->context();
+  // Home the array in L1, then try a copy in L2 (farther than home).
+  Assignment a = out_of_box(ctx);
+  int cc_id = -1;
+  for (const auto& cc : ctx.reuse.candidates()) {
+    if (cc.array == "data" && cc.level == 1) cc_id = cc.id;
+  }
+  ASSERT_GE(cc_id, 0);
+  a.array_layer["data"] = 0;
+  a.copies.push_back({cc_id, 1});
+  EXPECT_FALSE(layering_valid(ctx, a));
+}
+
+}  // namespace
+}  // namespace mhla::assign

@@ -1,0 +1,83 @@
+#include "assign/exhaustive.h"
+
+#include <gtest/gtest.h>
+
+#include "assign/greedy.h"
+#include "helpers.h"
+
+namespace mhla::assign {
+namespace {
+
+using ir::av;
+using testing::make_ws;
+
+/// Minimal program: one array, one loop, few candidates — exhaustively
+/// searchable.
+ir::Program micro_program() {
+  ir::ProgramBuilder pb("micro");
+  pb.array("a", {16}, 4).input();
+  pb.begin_loop("r", 0, 8);
+  pb.begin_loop("i", 0, 16);
+  pb.stmt("s", 1).read("a", {av("i")});
+  pb.end_loop();
+  pb.end_loop();
+  return pb.finish();
+}
+
+TEST(Exhaustive, FindsAtLeastAsGoodAsGreedy) {
+  mem::PlatformConfig platform;
+  platform.l1_bytes = 256;
+  platform.l2_bytes = 0;
+  auto ws = make_ws(micro_program(), platform);
+  auto ctx = ws->context();
+
+  ExhaustiveResult oracle = exhaustive_assign(ctx);
+  GreedyResult greedy = greedy_assign(ctx);
+  EXPECT_LE(oracle.scalar, greedy.final_scalar + 1e-9);
+  EXPECT_GT(oracle.states_explored, 0);
+  EXPECT_FALSE(oracle.exhausted_budget);
+}
+
+TEST(Exhaustive, BestIsFeasibleAndValid) {
+  mem::PlatformConfig platform;
+  platform.l1_bytes = 256;
+  platform.l2_bytes = 0;
+  auto ws = make_ws(micro_program(), platform);
+  auto ctx = ws->context();
+  ExhaustiveResult oracle = exhaustive_assign(ctx);
+  EXPECT_TRUE(fits(ctx, oracle.assignment));
+  EXPECT_TRUE(layering_valid(ctx, oracle.assignment));
+}
+
+TEST(Exhaustive, BeatsBaselineOnReuseProgram) {
+  mem::PlatformConfig platform;
+  platform.l1_bytes = 256;
+  platform.l2_bytes = 0;
+  auto ws = make_ws(micro_program(), platform);
+  auto ctx = ws->context();
+  ExhaustiveResult oracle = exhaustive_assign(ctx);
+  Objective obj = make_objective(ctx, 1.0, 1.0);
+  EXPECT_LT(oracle.scalar, obj.scalar(estimate_cost(ctx, out_of_box(ctx))));
+}
+
+TEST(Exhaustive, ThrowsOnLargeInstance) {
+  auto ws = make_ws(mhla::apps::build_motion_estimation());
+  auto ctx = ws->context();
+  EXPECT_THROW(exhaustive_assign(ctx), std::invalid_argument);
+}
+
+TEST(Exhaustive, StateBudgetIsHonored) {
+  mem::PlatformConfig platform;
+  platform.l1_bytes = 256;
+  platform.l2_bytes = 0;
+  auto ws = make_ws(micro_program(), platform);
+  auto ctx = ws->context();
+  ExhaustiveOptions options;
+  options.max_states = 2;
+  ExhaustiveResult result = exhaustive_assign(ctx, options);
+  EXPECT_TRUE(result.exhausted_budget);
+  EXPECT_LE(result.states_explored, 3);
+}
+
+}  // namespace
+}  // namespace mhla::assign

@@ -1,0 +1,68 @@
+#include "explore/pareto.h"
+
+#include <gtest/gtest.h>
+
+namespace mhla::xplore {
+namespace {
+
+TradeoffPoint pt(double cycles, double energy, i64 l1 = 0, i64 l2 = 0) {
+  TradeoffPoint p;
+  p.cycles = cycles;
+  p.energy_nj = energy;
+  p.l1_bytes = l1;
+  p.l2_bytes = l2;
+  return p;
+}
+
+TEST(Pareto, DominanceBasics) {
+  EXPECT_TRUE(pt(1, 1).dominates(pt(2, 2)));
+  EXPECT_TRUE(pt(1, 2).dominates(pt(2, 2)));
+  EXPECT_FALSE(pt(1, 3).dominates(pt(2, 2)));
+  EXPECT_FALSE(pt(2, 2).dominates(pt(2, 2)));  // equal: no strict improvement
+}
+
+TEST(Pareto, FiltersDominatedPoints) {
+  auto front = pareto_front({pt(1, 10), pt(5, 5), pt(10, 1), pt(6, 6), pt(20, 20)});
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_DOUBLE_EQ(front[0].cycles, 1);
+  EXPECT_DOUBLE_EQ(front[1].cycles, 5);
+  EXPECT_DOUBLE_EQ(front[2].cycles, 10);
+}
+
+TEST(Pareto, SortedByCycles) {
+  auto front = pareto_front({pt(10, 1), pt(1, 10), pt(5, 5)});
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_LE(front[i - 1].cycles, front[i].cycles);
+  }
+}
+
+TEST(Pareto, EmptyInput) {
+  EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(Pareto, SinglePoint) {
+  auto front = pareto_front({pt(3, 4)});
+  ASSERT_EQ(front.size(), 1u);
+}
+
+TEST(Pareto, EqualCostKeepsSmallestConfig) {
+  auto front = pareto_front({pt(5, 5, 4096, 0), pt(5, 5, 1024, 0)});
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].l1_bytes, 1024);
+}
+
+TEST(Pareto, AllIncomparableSurvive) {
+  auto front = pareto_front({pt(1, 4), pt(2, 3), pt(3, 2), pt(4, 1)});
+  EXPECT_EQ(front.size(), 4u);
+}
+
+TEST(Pareto, FrontIsMonotoneInEnergy) {
+  // Along ascending cycles, energy must strictly descend on a clean front.
+  auto front = pareto_front({pt(1, 9), pt(2, 7), pt(3, 8), pt(4, 5), pt(5, 6)});
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i - 1].energy_nj, front[i].energy_nj);
+  }
+}
+
+}  // namespace
+}  // namespace mhla::xplore

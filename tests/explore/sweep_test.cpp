@@ -1,0 +1,83 @@
+#include "explore/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "helpers.h"
+
+namespace mhla::xplore {
+namespace {
+
+TEST(Sweep, DefaultGridShape) {
+  SweepConfig config = default_sweep();
+  EXPECT_FALSE(config.l1_sizes.empty());
+  EXPECT_EQ(config.l1_sizes.front(), 256);
+  EXPECT_EQ(config.l1_sizes.back(), 64 * 1024);
+  EXPECT_EQ(config.l2_sizes.size(), 3u);
+}
+
+TEST(Sweep, ProducesOneSamplePerGridPoint) {
+  SweepConfig config;
+  config.l1_sizes = {256, 1024};
+  config.l2_sizes = {0, 8192};
+  auto samples = sweep_layer_sizes(testing::blocked_reuse_program(), config);
+  EXPECT_EQ(samples.size(), 4u);
+}
+
+TEST(Sweep, BiggerL1NeverHurtsCycles) {
+  // More on-chip memory can only help (or tie) the greedy result on this
+  // monotone workload.
+  SweepConfig config;
+  config.l1_sizes = {128, 512, 2048};
+  config.l2_sizes = {0};
+  config.with_te = false;
+  auto samples = sweep_layer_sizes(testing::blocked_reuse_program(), config);
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_GE(samples[0].point.cycles, samples[1].point.cycles);
+  EXPECT_GE(samples[1].point.cycles, samples[2].point.cycles);
+}
+
+TEST(Sweep, TeFlagControlsMode) {
+  SweepConfig config;
+  config.l1_sizes = {1024};
+  config.l2_sizes = {0};
+  config.with_te = false;
+  auto without = sweep_layer_sizes(testing::blocked_reuse_program(), config);
+  EXPECT_FALSE(without[0].te_applied);
+  config.with_te = true;
+  auto with = sweep_layer_sizes(testing::blocked_reuse_program(), config);
+  EXPECT_TRUE(with[0].te_applied);
+  EXPECT_LE(with[0].point.cycles, without[0].point.cycles);
+}
+
+TEST(Sweep, NoDmaDisablesTe) {
+  SweepConfig config;
+  config.l1_sizes = {1024};
+  config.l2_sizes = {0};
+  config.with_te = true;
+  config.dma.present = false;
+  auto samples = sweep_layer_sizes(testing::blocked_reuse_program(), config);
+  EXPECT_FALSE(samples[0].te_applied);
+}
+
+TEST(Sweep, FrontierIsSubsetOfSamples) {
+  SweepConfig config;
+  config.l1_sizes = {128, 512, 2048, 8192};
+  config.l2_sizes = {0};
+  auto samples = sweep_layer_sizes(testing::blocked_reuse_program(), config);
+  auto front = frontier(samples);
+  EXPECT_FALSE(front.empty());
+  EXPECT_LE(front.size(), samples.size());
+  for (const TradeoffPoint& p : front) {
+    bool found = false;
+    for (const SweepSample& s : samples) {
+      if (s.point.l1_bytes == p.l1_bytes && s.point.l2_bytes == p.l2_bytes &&
+          s.point.cycles == p.cycles && s.point.energy_nj == p.energy_nj) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+}  // namespace
+}  // namespace mhla::xplore

@@ -1,0 +1,34 @@
+#include "ir/array.h"
+
+#include <gtest/gtest.h>
+
+namespace mhla::ir {
+namespace {
+
+TEST(ArrayDecl, ElemsAndBytes1D) {
+  ArrayDecl a{"v", {100}, 4};
+  EXPECT_EQ(a.elems(), 100);
+  EXPECT_EQ(a.bytes(), 400);
+  EXPECT_EQ(a.rank(), 1);
+}
+
+TEST(ArrayDecl, ElemsAndBytes3D) {
+  ArrayDecl a{"t", {8, 16, 4}, 2};
+  EXPECT_EQ(a.elems(), 8 * 16 * 4);
+  EXPECT_EQ(a.bytes(), 8 * 16 * 4 * 2);
+  EXPECT_EQ(a.rank(), 3);
+}
+
+TEST(ArrayDecl, SingleByteElements) {
+  ArrayDecl a{"img", {144, 176}, 1};
+  EXPECT_EQ(a.bytes(), 144 * 176);
+}
+
+TEST(ArrayDecl, InputOutputFlagsDefaultFalse) {
+  ArrayDecl a{"x", {4}, 4};
+  EXPECT_FALSE(a.is_input);
+  EXPECT_FALSE(a.is_output);
+}
+
+}  // namespace
+}  // namespace mhla::ir

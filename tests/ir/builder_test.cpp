@@ -1,0 +1,151 @@
+#include "ir/builder.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mhla::ir {
+namespace {
+
+TEST(ProgramBuilder, DeclaresArrays) {
+  ProgramBuilder pb("p");
+  pb.array("a", {10, 20}, 2);
+  pb.array("b", {5}, 4).input();
+  Program p = pb.finish();
+  ASSERT_EQ(p.arrays().size(), 2u);
+  EXPECT_EQ(p.array("a").bytes(), 400);
+  EXPECT_TRUE(p.array("b").is_input);
+  EXPECT_FALSE(p.array("a").is_input);
+}
+
+TEST(ProgramBuilder, DuplicateArrayThrows) {
+  ProgramBuilder pb("p");
+  pb.array("a", {10}, 4);
+  EXPECT_THROW(pb.array("a", {20}, 4), std::invalid_argument);
+}
+
+TEST(ProgramBuilder, DegenerateArrayThrows) {
+  ProgramBuilder pb("p");
+  EXPECT_THROW(pb.array("empty", {}, 4), std::invalid_argument);
+  EXPECT_THROW(pb.array("zero", {0}, 4), std::invalid_argument);
+  EXPECT_THROW(pb.array("badbytes", {4}, 0), std::invalid_argument);
+}
+
+TEST(ProgramBuilder, NestedLoops) {
+  ProgramBuilder pb("p");
+  pb.array("a", {8, 8}, 4);
+  pb.begin_loop("i", 0, 8);
+  pb.begin_loop("j", 0, 8);
+  pb.stmt("s", 1).read("a", {av("i"), av("j")});
+  pb.end_loop();
+  pb.end_loop();
+  Program p = pb.finish();
+  ASSERT_EQ(p.top().size(), 1u);
+  const LoopNode& outer = p.top()[0]->as_loop();
+  EXPECT_EQ(outer.iter(), "i");
+  EXPECT_EQ(outer.trip(), 8);
+  ASSERT_EQ(outer.body().size(), 1u);
+  const LoopNode& inner = outer.body()[0]->as_loop();
+  EXPECT_EQ(inner.iter(), "j");
+  ASSERT_EQ(inner.body().size(), 1u);
+  EXPECT_TRUE(inner.body()[0]->is_stmt());
+}
+
+TEST(ProgramBuilder, MultipleTopLevelNests) {
+  ProgramBuilder pb("p");
+  pb.begin_loop("i", 0, 4);
+  pb.stmt("s0", 1);
+  pb.end_loop();
+  pb.begin_loop("j", 0, 4);
+  pb.stmt("s1", 1);
+  pb.end_loop();
+  Program p = pb.finish();
+  EXPECT_EQ(p.top().size(), 2u);
+}
+
+TEST(ProgramBuilder, StatementAtTopLevel) {
+  ProgramBuilder pb("p");
+  pb.stmt("init", 3);
+  Program p = pb.finish();
+  ASSERT_EQ(p.top().size(), 1u);
+  EXPECT_EQ(p.top()[0]->as_stmt().op_cycles(), 3);
+}
+
+TEST(ProgramBuilder, ShadowedIteratorThrows) {
+  ProgramBuilder pb("p");
+  pb.begin_loop("i", 0, 4);
+  EXPECT_THROW(pb.begin_loop("i", 0, 4), std::logic_error);
+}
+
+TEST(ProgramBuilder, EndLoopWithoutOpenThrows) {
+  ProgramBuilder pb("p");
+  EXPECT_THROW(pb.end_loop(), std::logic_error);
+}
+
+TEST(ProgramBuilder, FinishWithOpenLoopThrows) {
+  ProgramBuilder pb("p");
+  pb.begin_loop("i", 0, 4);
+  EXPECT_THROW(pb.finish(), std::logic_error);
+}
+
+TEST(ProgramBuilder, SameIteratorReusableSequentially) {
+  ProgramBuilder pb("p");
+  pb.begin_loop("i", 0, 4);
+  pb.stmt("a", 1);
+  pb.end_loop();
+  pb.begin_loop("i", 0, 8);
+  pb.stmt("b", 1);
+  pb.end_loop();
+  Program p = pb.finish();
+  EXPECT_EQ(p.top()[0]->as_loop().trip(), 4);
+  EXPECT_EQ(p.top()[1]->as_loop().trip(), 8);
+}
+
+TEST(ProgramBuilder, StmtAccessKindsAndCounts) {
+  ProgramBuilder pb("p");
+  pb.array("a", {4}, 4);
+  pb.begin_loop("i", 0, 4);
+  pb.stmt("s", 1).read("a", {av("i")}, 3).write("a", {av("i")});
+  pb.end_loop();
+  Program p = pb.finish();
+  const StmtNode& stmt = p.top()[0]->as_loop().body()[0]->as_stmt();
+  ASSERT_EQ(stmt.accesses().size(), 2u);
+  EXPECT_EQ(stmt.accesses()[0].kind, AccessKind::Read);
+  EXPECT_EQ(stmt.accesses()[0].count, 3);
+  EXPECT_EQ(stmt.accesses()[1].kind, AccessKind::Write);
+}
+
+TEST(LoopNode, TripCounts) {
+  EXPECT_EQ(LoopNode("i", 0, 10).trip(), 10);
+  EXPECT_EQ(LoopNode("i", 2, 10).trip(), 8);
+  EXPECT_EQ(LoopNode("i", 0, 10, 3).trip(), 4);  // 0,3,6,9
+  EXPECT_EQ(LoopNode("i", 5, 5).trip(), 0);
+  EXPECT_EQ(LoopNode("i", 10, 5).trip(), 0);
+}
+
+TEST(Node, AsLoopOnStmtThrows) {
+  StmtNode stmt("s", 1);
+  EXPECT_THROW(stmt.as_loop(), std::logic_error);
+  LoopNode loop("i", 0, 4);
+  EXPECT_THROW(loop.as_stmt(), std::logic_error);
+}
+
+TEST(Program, FindArray) {
+  ProgramBuilder pb("p");
+  pb.array("a", {4}, 4);
+  Program p = pb.finish();
+  EXPECT_NE(p.find_array("a"), nullptr);
+  EXPECT_EQ(p.find_array("zzz"), nullptr);
+  EXPECT_THROW(p.array("zzz"), std::out_of_range);
+}
+
+TEST(Program, TotalArrayBytes) {
+  ProgramBuilder pb("p");
+  pb.array("a", {4}, 4);    // 16
+  pb.array("b", {8, 2}, 1); // 16
+  Program p = pb.finish();
+  EXPECT_EQ(p.total_array_bytes(), 32);
+}
+
+}  // namespace
+}  // namespace mhla::ir

@@ -1,0 +1,53 @@
+#include "ir/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace mhla::ir {
+namespace {
+
+TEST(Printer, ContainsArraysLoopsAndAccesses) {
+  ProgramBuilder pb("demo");
+  pb.array("img", {16, 16}, 1).input();
+  pb.array("out", {16}, 2).output();
+  pb.begin_loop("i", 0, 16);
+  pb.begin_loop("j", 0, 16);
+  pb.stmt("s", 2).read("img", {av("i"), av("j")});
+  pb.end_loop();
+  pb.stmt("e", 1).write("out", {av("i")});
+  pb.end_loop();
+  Program p = pb.finish();
+
+  std::string text = to_string(p);
+  EXPECT_NE(text.find("program demo"), std::string::npos);
+  EXPECT_NE(text.find("array img[16][16]"), std::string::npos);
+  EXPECT_NE(text.find("input"), std::string::npos);
+  EXPECT_NE(text.find("output"), std::string::npos);
+  EXPECT_NE(text.find("for (i = 0; i < 16; i += 1)"), std::string::npos);
+  EXPECT_NE(text.find("read img[i][j]"), std::string::npos);
+  EXPECT_NE(text.find("write out[i]"), std::string::npos);
+}
+
+TEST(Printer, AccessCountAnnotation) {
+  ProgramBuilder pb("p");
+  pb.array("a", {4}, 4);
+  pb.begin_loop("i", 0, 4);
+  pb.stmt("s", 1).read("a", {av("i")}, 2);
+  pb.end_loop();
+  std::string text = to_string(pb.finish());
+  EXPECT_NE(text.find("x2"), std::string::npos);
+}
+
+TEST(Printer, NodeOverloadIndents) {
+  ProgramBuilder pb("p");
+  pb.begin_loop("i", 0, 2);
+  pb.stmt("s", 1);
+  pb.end_loop();
+  Program p = pb.finish();
+  std::string text = to_string(*p.top()[0], 1);
+  EXPECT_EQ(text.rfind("  for", 0), 0u);  // starts with one indent level
+}
+
+}  // namespace
+}  // namespace mhla::ir

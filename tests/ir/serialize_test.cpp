@@ -1,0 +1,137 @@
+#include "ir/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.h"
+#include "ir/builder.h"
+#include "ir/validate.h"
+
+namespace mhla::ir {
+namespace {
+
+TEST(FormatAffine, Compact) {
+  EXPECT_EQ(format_affine(av("i")), "i");
+  EXPECT_EQ(format_affine(av("i", 16) + av("j") + ac(3)), "16*i+j+3");
+  EXPECT_EQ(format_affine(av("i") - ac(1)), "i-1");
+  EXPECT_EQ(format_affine(av("i", -2)), "-2*i");
+  EXPECT_EQ(format_affine(ac(0)), "0");
+  EXPECT_EQ(format_affine(ac(-7)), "-7");
+}
+
+TEST(ParseAffine, BasicForms) {
+  EXPECT_EQ(parse_affine("i"), av("i"));
+  EXPECT_EQ(parse_affine("16*i+j+3"), av("i", 16) + av("j") + ac(3));
+  EXPECT_EQ(parse_affine("i-1"), av("i") - ac(1));
+  EXPECT_EQ(parse_affine("-2*i"), av("i", -2));
+  EXPECT_EQ(parse_affine("0"), ac(0));
+  EXPECT_EQ(parse_affine("-7"), ac(-7));
+}
+
+TEST(ParseAffine, ToleratesSpaces) {
+  EXPECT_EQ(parse_affine(" 16*i + j - 3 "), av("i", 16) + av("j") - ac(3));
+}
+
+TEST(ParseAffine, MergesRepeatedVariables) {
+  EXPECT_EQ(parse_affine("i+i+i"), av("i", 3));
+  EXPECT_EQ(parse_affine("2*i-i"), av("i"));
+}
+
+TEST(ParseAffine, Rejections) {
+  EXPECT_THROW(parse_affine("i+"), std::invalid_argument);
+  EXPECT_THROW(parse_affine("++i"), std::invalid_argument);  // '+' with no term yet
+  EXPECT_THROW(parse_affine("3*"), std::invalid_argument);
+  EXPECT_THROW(parse_affine("i j"), std::invalid_argument);
+  EXPECT_THROW(parse_affine("a[b]"), std::invalid_argument);
+}
+
+TEST(ParseAffine, RoundTripsRandomizedShapes) {
+  const AffineExpr cases[] = {
+      ac(0), ac(42), ac(-3), av("x"), av("x", -1),
+      av("by", 16) + av("my") + av("y") - ac(8),
+      av("a", 100) - av("b", 99) + ac(1),
+  };
+  for (const AffineExpr& e : cases) {
+    EXPECT_EQ(parse_affine(format_affine(e)), e) << format_affine(e);
+  }
+}
+
+TEST(Serialize, ContainsEverything) {
+  ProgramBuilder pb("demo");
+  pb.array("img", {16, 16}, 1).input();
+  pb.array("out", {16}, 2).output();
+  pb.begin_loop("i", 0, 16);
+  pb.stmt("s", 2).read("img", {av("i"), av("i") + ac(1)}, 3).write("out", {av("i")});
+  pb.end_loop();
+  std::string text = serialize(pb.finish());
+  EXPECT_NE(text.find("program demo"), std::string::npos);
+  EXPECT_NE(text.find("array img 16 16 : elem 1 input"), std::string::npos);
+  EXPECT_NE(text.find("array out 16 : elem 2 output"), std::string::npos);
+  EXPECT_NE(text.find("loop i 0 16 1 {"), std::string::npos);
+  EXPECT_NE(text.find("stmt s ops 2 {"), std::string::npos);
+  EXPECT_NE(text.find("read img [i] [i+1] x3"), std::string::npos);
+  EXPECT_NE(text.find("write out [i]"), std::string::npos);
+}
+
+void expect_round_trip(const Program& program) {
+  std::string once = serialize(program);
+  Program parsed = parse_program(once);
+  std::string twice = serialize(parsed);
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(parsed.name(), program.name());
+  EXPECT_EQ(parsed.arrays().size(), program.arrays().size());
+  EXPECT_TRUE(validate(parsed).empty());
+}
+
+TEST(Serialize, RoundTripSimple) {
+  ProgramBuilder pb("rt");
+  pb.array("a", {8, 8}, 4).input();
+  pb.begin_loop("i", 0, 8);
+  pb.begin_loop("j", 0, 8, 2);
+  pb.stmt("s", 1).read("a", {av("i"), av("j")});
+  pb.end_loop();
+  pb.end_loop();
+  expect_round_trip(pb.finish());
+}
+
+class AppRoundTrip : public ::testing::TestWithParam<apps::AppInfo> {};
+
+TEST_P(AppRoundTrip, SerializeParseSerializeIsIdentity) {
+  expect_round_trip(GetParam().build());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNine, AppRoundTrip, ::testing::ValuesIn(apps::all_apps()),
+                         [](const ::testing::TestParamInfo<apps::AppInfo>& info) {
+                           return info.param.name;
+                         });
+
+TEST(Parse, CommentsAndBlankLinesIgnored) {
+  Program p = parse_program(
+      "program p\n"
+      "# a comment\n"
+      "array a 4 : elem 4\n"
+      "\n"
+      "loop i 0 4 1 {\n"
+      "  stmt s ops 1 {\n"
+      "    read a [i]\n"
+      "  }\n"
+      "}\n");
+  EXPECT_EQ(p.arrays().size(), 1u);
+  EXPECT_EQ(p.top().size(), 1u);
+}
+
+TEST(Parse, Rejections) {
+  EXPECT_THROW(parse_program("not_a_program\n"), std::invalid_argument);
+  EXPECT_THROW(parse_program("program p\narray a : elem 4\n"), std::invalid_argument);
+  EXPECT_THROW(parse_program("program p\nloop i 0 4 1 {\n"), std::invalid_argument);
+  EXPECT_THROW(parse_program("program p\nloop i 0 4 1 {\n  bogus\n}\n"), std::invalid_argument);
+  EXPECT_THROW(parse_program("program p\narray a 4 : elem 4 banana\n"), std::invalid_argument);
+  EXPECT_THROW(
+      parse_program("program p\nstmt s ops 1 {\n  jump a [0]\n}\n"), std::invalid_argument);
+}
+
+TEST(Parse, StmtWithoutBraceRejected) {
+  EXPECT_THROW(parse_program("program p\nstmt s ops 1\n"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mhla::ir

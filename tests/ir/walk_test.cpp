@@ -1,0 +1,85 @@
+#include "ir/walk.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace mhla::ir {
+namespace {
+
+Program two_nest_program() {
+  ProgramBuilder pb("p");
+  pb.array("a", {16, 16}, 4);
+  pb.begin_loop("i", 0, 4);
+  pb.begin_loop("j", 0, 8);
+  pb.stmt("s0", 1).read("a", {av("i"), av("j")});
+  pb.end_loop();
+  pb.stmt("s1", 1);
+  pb.end_loop();
+  pb.begin_loop("k", 0, 3);
+  pb.stmt("s2", 1);
+  pb.end_loop();
+  return pb.finish();
+}
+
+TEST(Walk, VisitsAllStatementsInProgramOrder) {
+  Program p = two_nest_program();
+  std::vector<std::string> names;
+  std::vector<int> nests;
+  walk_statements(p, [&](int nest, const LoopPath&, const StmtNode& stmt) {
+    names.push_back(stmt.name());
+    nests.push_back(nest);
+  });
+  EXPECT_EQ(names, (std::vector<std::string>{"s0", "s1", "s2"}));
+  EXPECT_EQ(nests, (std::vector<int>{0, 0, 1}));
+}
+
+TEST(Walk, PathReflectsNesting) {
+  Program p = two_nest_program();
+  walk_statements(p, [&](int, const LoopPath& path, const StmtNode& stmt) {
+    if (stmt.name() == "s0") {
+      ASSERT_EQ(path.size(), 2u);
+      EXPECT_EQ(path[0]->iter(), "i");
+      EXPECT_EQ(path[1]->iter(), "j");
+    } else if (stmt.name() == "s1") {
+      ASSERT_EQ(path.size(), 1u);
+      EXPECT_EQ(path[0]->iter(), "i");
+    } else {
+      ASSERT_EQ(path.size(), 1u);
+      EXPECT_EQ(path[0]->iter(), "k");
+    }
+  });
+}
+
+TEST(Walk, SingleNodeOverload) {
+  Program p = two_nest_program();
+  int count = 0;
+  walk_statements(*p.top()[0], [&](const LoopPath&, const StmtNode&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Walk, IterationsOfPath) {
+  Program p = two_nest_program();
+  walk_statements(p, [&](int, const LoopPath& path, const StmtNode& stmt) {
+    if (stmt.name() == "s0") {
+      EXPECT_EQ(iterations_of(path), 32);
+      EXPECT_EQ(iterations_of(path, 1), 4);
+      EXPECT_EQ(iterations_of(path, 0), 1);
+      EXPECT_EQ(iterations_of(path, 99), 32);  // clamped
+    }
+  });
+}
+
+TEST(Walk, TopLevelStatementHasEmptyPath) {
+  ProgramBuilder pb("p");
+  pb.stmt("top", 1);
+  Program p = pb.finish();
+  walk_statements(p, [&](int nest, const LoopPath& path, const StmtNode&) {
+    EXPECT_EQ(nest, 0);
+    EXPECT_TRUE(path.empty());
+    EXPECT_EQ(iterations_of(path), 1);
+  });
+}
+
+}  // namespace
+}  // namespace mhla::ir

@@ -1,0 +1,61 @@
+#include "mem/dma.h"
+
+#include <gtest/gtest.h>
+
+#include "mem/energy_model.h"
+
+namespace mhla::mem {
+namespace {
+
+TEST(DmaEngine, TransferCyclesIncludeSetup) {
+  DmaEngine dma;
+  MemLayer src = make_sdram_layer("SDRAM");
+  MemLayer dst = make_sram_layer("L1", 4096);
+  double cycles = dma.transfer_cycles(0, src, dst);
+  EXPECT_DOUBLE_EQ(cycles, static_cast<double>(dma.setup_cycles));
+}
+
+TEST(DmaEngine, BandwidthIsMinOfEngineAndLayers) {
+  DmaEngine dma;
+  dma.setup_cycles = 0;
+  dma.bytes_per_cycle = 8.0;
+  MemLayer src = make_sdram_layer("SDRAM");  // 2 B/cycle by default
+  MemLayer dst = make_sram_layer("L1", 4096);  // 8 B/cycle
+  // Effective bandwidth limited by SDRAM: 2 B/cycle -> 512 cycles for 1 KiB.
+  EXPECT_DOUBLE_EQ(dma.transfer_cycles(1024, src, dst), 512.0);
+}
+
+TEST(DmaEngine, EngineCanBeTheBottleneck) {
+  DmaEngine dma;
+  dma.setup_cycles = 0;
+  dma.bytes_per_cycle = 1.0;
+  MemLayer src = make_sram_layer("L2", 65536);
+  MemLayer dst = make_sram_layer("L1", 4096);
+  EXPECT_DOUBLE_EQ(dma.transfer_cycles(100, src, dst), 100.0);
+}
+
+TEST(DmaEngine, CyclesScaleLinearlyWithBytes) {
+  DmaEngine dma;
+  MemLayer src = make_sdram_layer("SDRAM");
+  MemLayer dst = make_sram_layer("L1", 4096);
+  double c1 = dma.transfer_cycles(1024, src, dst) - dma.setup_cycles;
+  double c2 = dma.transfer_cycles(2048, src, dst) - dma.setup_cycles;
+  EXPECT_DOUBLE_EQ(c2, 2.0 * c1);
+}
+
+TEST(BlockingTransfer, MatchesEngineOccupancy) {
+  DmaEngine dma;
+  MemLayer src = make_sdram_layer("SDRAM");
+  MemLayer dst = make_sram_layer("L1", 4096);
+  EXPECT_DOUBLE_EQ(blocking_transfer_cycles(4096, src, dst, dma),
+                   dma.transfer_cycles(4096, src, dst));
+}
+
+TEST(DmaEngine, DefaultIsPresent) {
+  DmaEngine dma;
+  EXPECT_TRUE(dma.present);
+  EXPECT_GE(dma.channels, 1);
+}
+
+}  // namespace
+}  // namespace mhla::mem

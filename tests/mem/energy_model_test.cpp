@@ -1,0 +1,88 @@
+#include "mem/energy_model.h"
+
+#include <gtest/gtest.h>
+
+namespace mhla::mem {
+namespace {
+
+TEST(SramModel, EnergyIsMonotoneInCapacity) {
+  double prev = 0.0;
+  for (i64 size = 256; size <= 1024 * 1024; size *= 2) {
+    double e = sram_read_energy_nj(size);
+    EXPECT_GT(e, prev) << "capacity " << size;
+    prev = e;
+  }
+}
+
+TEST(SramModel, EnergySublinearInCapacity) {
+  // sqrt scaling: doubling capacity must raise energy by < 2x.
+  for (i64 size = 1024; size <= 256 * 1024; size *= 2) {
+    EXPECT_LT(sram_read_energy_nj(2 * size), 2.0 * sram_read_energy_nj(size));
+  }
+}
+
+TEST(SramModel, LatencyStepsWithCapacity) {
+  SramModelParams params;
+  EXPECT_EQ(sram_read_latency(1024, params), params.base_latency);
+  EXPECT_EQ(sram_read_latency(params.latency_step_bytes, params), params.base_latency + 1);
+  EXPECT_EQ(sram_read_latency(4 * params.latency_step_bytes, params), params.base_latency + 4);
+}
+
+TEST(SramModel, HandlesDegenerateCapacity) {
+  EXPECT_GT(sram_read_energy_nj(0), 0.0);
+  EXPECT_GT(sram_read_energy_nj(1), 0.0);
+}
+
+TEST(SramLayer, FullyPopulated) {
+  MemLayer layer = make_sram_layer("L1", 4096);
+  EXPECT_EQ(layer.name, "L1");
+  EXPECT_EQ(layer.tech, MemTech::Sram);
+  EXPECT_EQ(layer.capacity_bytes, 4096);
+  EXPECT_TRUE(layer.on_chip);
+  EXPECT_FALSE(layer.unbounded());
+  EXPECT_GT(layer.read_energy_nj, 0.0);
+  EXPECT_GT(layer.write_energy_nj, layer.read_energy_nj);  // write factor > 1
+  EXPECT_GE(layer.read_latency, 1);
+}
+
+TEST(SdramLayer, OffChipAndUnbounded) {
+  MemLayer layer = make_sdram_layer("SDRAM");
+  EXPECT_EQ(layer.tech, MemTech::Sdram);
+  EXPECT_FALSE(layer.on_chip);
+  EXPECT_TRUE(layer.unbounded());
+}
+
+TEST(EnergyGap, OffChipDominatesOnChip) {
+  // The on-chip/off-chip energy and latency gaps drive the whole technique;
+  // guard them.
+  MemLayer l1 = make_sram_layer("L1", 4 * 1024);
+  MemLayer sdram = make_sdram_layer("SDRAM");
+  EXPECT_GT(sdram.read_energy_nj, 10.0 * l1.read_energy_nj);
+  EXPECT_GT(sdram.read_latency, 10 * l1.read_latency);
+}
+
+TEST(MemLayer, AccessHelpers) {
+  MemLayer layer = make_sram_layer("L1", 1024);
+  EXPECT_DOUBLE_EQ(layer.access_energy_nj(false), layer.read_energy_nj);
+  EXPECT_DOUBLE_EQ(layer.access_energy_nj(true), layer.write_energy_nj);
+  EXPECT_EQ(layer.access_latency(false), layer.read_latency);
+  EXPECT_EQ(layer.access_latency(true), layer.write_latency);
+}
+
+class SramSizeSweep : public ::testing::TestWithParam<i64> {};
+
+TEST_P(SramSizeSweep, EnergyBetweenBaseAndSdram) {
+  i64 size = GetParam();
+  double e = sram_read_energy_nj(size);
+  SramModelParams params;
+  SdramModelParams sdram;
+  EXPECT_GE(e, params.base_energy_nj);
+  EXPECT_LT(e, sdram.read_energy_nj) << "on-chip SRAM of " << size
+                                     << " B must stay cheaper than off-chip";
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SramSizeSweep,
+                         ::testing::Values(256, 1024, 4096, 16384, 65536, 262144));
+
+}  // namespace
+}  // namespace mhla::mem

@@ -1,0 +1,79 @@
+#include "mem/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mhla::mem {
+namespace {
+
+TEST(Hierarchy, DefaultPlatformShape) {
+  Hierarchy h = make_hierarchy({});
+  ASSERT_EQ(h.num_layers(), 3);
+  EXPECT_EQ(h.layer(0).name, "L1");
+  EXPECT_EQ(h.layer(1).name, "L2");
+  EXPECT_EQ(h.layer(2).name, "SDRAM");
+  EXPECT_EQ(h.background(), 2);
+  EXPECT_TRUE(h.is_on_chip(0));
+  EXPECT_TRUE(h.is_on_chip(1));
+  EXPECT_FALSE(h.is_on_chip(2));
+}
+
+TEST(Hierarchy, OnChipCapacity) {
+  PlatformConfig config;
+  config.l1_bytes = 1024;
+  config.l2_bytes = 8192;
+  Hierarchy h = make_hierarchy(config);
+  EXPECT_EQ(h.on_chip_capacity(), 1024 + 8192);
+}
+
+TEST(Hierarchy, SingleLayerPlatform) {
+  PlatformConfig config;
+  config.l1_bytes = 0;
+  config.l2_bytes = 0;
+  Hierarchy h = make_hierarchy(config);
+  EXPECT_EQ(h.num_layers(), 1);
+  EXPECT_EQ(h.background(), 0);
+  EXPECT_EQ(h.on_chip_capacity(), 0);
+}
+
+TEST(Hierarchy, L1OnlyPlatform) {
+  PlatformConfig config;
+  config.l1_bytes = 2048;
+  config.l2_bytes = 0;
+  Hierarchy h = make_hierarchy(config);
+  EXPECT_EQ(h.num_layers(), 2);
+  EXPECT_EQ(h.layer(0).capacity_bytes, 2048);
+}
+
+TEST(Hierarchy, RejectsEmptyLayers) {
+  EXPECT_THROW((void)Hierarchy{std::vector<MemLayer>{}}, std::invalid_argument);
+}
+
+TEST(Hierarchy, RejectsBoundedBackground) {
+  std::vector<MemLayer> layers = {make_sram_layer("L1", 1024)};
+  EXPECT_THROW((void)Hierarchy{layers}, std::invalid_argument);
+}
+
+TEST(Hierarchy, RejectsUnboundedInnerLayer) {
+  std::vector<MemLayer> layers = {make_sdram_layer("weird"), make_sdram_layer("SDRAM")};
+  EXPECT_THROW((void)Hierarchy{layers}, std::invalid_argument);
+}
+
+TEST(Hierarchy, RejectsOnChipBackground) {
+  MemLayer fake = make_sram_layer("pseudo", 0);
+  fake.capacity_bytes = 0;  // unbounded but still marked on-chip
+  EXPECT_THROW((void)Hierarchy{{fake}}, std::invalid_argument);
+}
+
+TEST(Hierarchy, LargerL1CostsMoreEnergyPerAccess) {
+  PlatformConfig small;
+  small.l1_bytes = 1024;
+  PlatformConfig big;
+  big.l1_bytes = 64 * 1024;
+  EXPECT_LT(make_hierarchy(small).layer(0).read_energy_nj,
+            make_hierarchy(big).layer(0).read_energy_nj);
+}
+
+}  // namespace
+}  // namespace mhla::mem

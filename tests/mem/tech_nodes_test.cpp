@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "mem/energy_model.h"
+#include "mem/hierarchy.h"
+
+namespace mhla::mem {
+namespace {
+
+TEST(TechNodes, OnChipEnergyShrinksWithNode) {
+  for (i64 size : {1024, 8 * 1024, 64 * 1024}) {
+    double e180 = sram_read_energy_nj(size, sram_params_for(TechNode::Nm180));
+    double e130 = sram_read_energy_nj(size, sram_params_for(TechNode::Nm130));
+    double e90 = sram_read_energy_nj(size, sram_params_for(TechNode::Nm90));
+    EXPECT_GT(e180, e130);
+    EXPECT_GT(e130, e90);
+  }
+}
+
+TEST(TechNodes, OffChipEnergyShrinksWithNode) {
+  EXPECT_GT(sdram_params_for(TechNode::Nm180).read_energy_nj,
+            sdram_params_for(TechNode::Nm130).read_energy_nj);
+  EXPECT_GT(sdram_params_for(TechNode::Nm130).read_energy_nj,
+            sdram_params_for(TechNode::Nm90).read_energy_nj);
+}
+
+TEST(TechNodes, OnOffGapWidensAtSmallerNodes) {
+  // The architectural motivation for scratchpad hierarchies only grows:
+  // the off-chip/on-chip energy ratio increases from 180 nm to 90 nm.
+  auto gap = [](TechNode node) {
+    double on = sram_read_energy_nj(4 * 1024, sram_params_for(node));
+    return sdram_params_for(node).read_energy_nj / on;
+  };
+  EXPECT_LT(gap(TechNode::Nm180), gap(TechNode::Nm130));
+  EXPECT_LT(gap(TechNode::Nm130), gap(TechNode::Nm90));
+}
+
+TEST(TechNodes, Node130IsTheDefaultCalibration) {
+  SramModelParams defaults;
+  SramModelParams nm130 = sram_params_for(TechNode::Nm130);
+  EXPECT_DOUBLE_EQ(defaults.base_energy_nj, nm130.base_energy_nj);
+  EXPECT_DOUBLE_EQ(defaults.slope_energy_nj, nm130.slope_energy_nj);
+  SdramModelParams sdefaults;
+  EXPECT_DOUBLE_EQ(sdefaults.read_energy_nj,
+                   sdram_params_for(TechNode::Nm130).read_energy_nj);
+}
+
+TEST(TechNodes, HierarchiesBuildAtEveryNode) {
+  for (TechNode node : {TechNode::Nm180, TechNode::Nm130, TechNode::Nm90}) {
+    PlatformConfig config;
+    config.sram = sram_params_for(node);
+    config.sdram = sdram_params_for(node);
+    Hierarchy h = make_hierarchy(config);
+    EXPECT_EQ(h.num_layers(), 3);
+    EXPECT_GT(h.layer(2).read_energy_nj, h.layer(0).read_energy_nj);
+  }
+}
+
+}  // namespace
+}  // namespace mhla::mem

@@ -1,0 +1,141 @@
+#pragma once
+
+// Seeded random program generator for the fuzz property tests.
+// Programs are valid by construction: array extents are computed from the
+// maximum subscript values the generated loops can produce.
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+
+namespace mhla::testing {
+
+struct RandomProgramConfig {
+  int max_nests = 3;
+  int max_depth = 3;
+  int max_arrays = 4;
+  int max_stmts_per_nest = 2;
+  int max_accesses_per_stmt = 3;
+};
+
+/// Deterministic random program for a seed.  All subscripts are affine in
+/// enclosing iterators with small coefficients; extents are sized to the
+/// exact maximum so every access is in bounds.
+inline ir::Program random_program(std::uint32_t seed, const RandomProgramConfig& config = {}) {
+  std::mt19937 rng(seed);
+  auto pick = [&](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+
+  // --- Stage 1: plan the structure (loops, statements, accesses).
+  struct PlannedAccess {
+    int array = 0;
+    bool is_write = false;
+    // one term list per dimension: (iterator index within nest path, coef) + offset
+    std::vector<std::vector<std::pair<int, ir::i64>>> terms;
+    std::vector<ir::i64> offsets;
+  };
+  struct PlannedStmt {
+    ir::i64 op_cycles = 1;
+    std::vector<PlannedAccess> accesses;
+  };
+  struct PlannedNest {
+    std::vector<ir::i64> trips;  // loop trip counts, outermost first
+    std::vector<PlannedStmt> stmts;
+  };
+
+  const ir::i64 trip_choices[] = {2, 3, 4, 8, 16};
+  int num_arrays = pick(2, config.max_arrays);
+  std::vector<int> array_rank(static_cast<std::size_t>(num_arrays));
+  for (int& r : array_rank) r = pick(1, 2);
+
+  std::vector<PlannedNest> nests(static_cast<std::size_t>(pick(1, config.max_nests)));
+  for (PlannedNest& nest : nests) {
+    nest.trips.resize(static_cast<std::size_t>(pick(1, config.max_depth)));
+    for (ir::i64& t : nest.trips) t = trip_choices[pick(0, 4)];
+    nest.stmts.resize(static_cast<std::size_t>(pick(1, config.max_stmts_per_nest)));
+    for (PlannedStmt& stmt : nest.stmts) {
+      stmt.op_cycles = pick(1, 8);
+      stmt.accesses.resize(static_cast<std::size_t>(pick(1, config.max_accesses_per_stmt)));
+      for (PlannedAccess& access : stmt.accesses) {
+        access.array = pick(0, num_arrays - 1);
+        access.is_write = pick(0, 3) == 0;  // 25% writes
+        int rank = array_rank[static_cast<std::size_t>(access.array)];
+        access.terms.resize(static_cast<std::size_t>(rank));
+        access.offsets.resize(static_cast<std::size_t>(rank));
+        for (int d = 0; d < rank; ++d) {
+          int num_terms = pick(0, std::min<int>(2, static_cast<int>(nest.trips.size())));
+          for (int t = 0; t < num_terms; ++t) {
+            int iter = pick(0, static_cast<int>(nest.trips.size()) - 1);
+            access.terms[static_cast<std::size_t>(d)].push_back({iter, pick(1, 3)});
+          }
+          access.offsets[static_cast<std::size_t>(d)] = pick(0, 4);
+        }
+      }
+    }
+  }
+
+  // --- Stage 2: compute required extents per array dimension.
+  std::vector<std::vector<ir::i64>> extents(static_cast<std::size_t>(num_arrays));
+  for (int a = 0; a < num_arrays; ++a) {
+    extents[static_cast<std::size_t>(a)].assign(
+        static_cast<std::size_t>(array_rank[static_cast<std::size_t>(a)]), 1);
+  }
+  for (const PlannedNest& nest : nests) {
+    for (const PlannedStmt& stmt : nest.stmts) {
+      for (const PlannedAccess& access : stmt.accesses) {
+        for (std::size_t d = 0; d < access.terms.size(); ++d) {
+          ir::i64 max_value = access.offsets[d];
+          for (const auto& [iter, coef] : access.terms[d]) {
+            max_value += coef * (nest.trips[static_cast<std::size_t>(iter)] - 1);
+          }
+          ir::i64& extent = extents[static_cast<std::size_t>(access.array)][d];
+          extent = std::max(extent, max_value + 1);
+        }
+      }
+    }
+  }
+
+  // --- Stage 3: emit through the builder.
+  ir::ProgramBuilder pb("fuzz_" + std::to_string(seed));
+  const ir::i64 elem_choices[] = {1, 2, 4};
+  for (int a = 0; a < num_arrays; ++a) {
+    auto ref = pb.array("arr" + std::to_string(a), extents[static_cast<std::size_t>(a)],
+                        elem_choices[pick(0, 2)]);
+    if (pick(0, 1)) ref.input();
+    if (pick(0, 2) == 0) ref.output();
+  }
+  for (std::size_t n = 0; n < nests.size(); ++n) {
+    const PlannedNest& nest = nests[n];
+    std::vector<std::string> iters;
+    for (std::size_t l = 0; l < nest.trips.size(); ++l) {
+      iters.push_back("n" + std::to_string(n) + "_i" + std::to_string(l));
+      pb.begin_loop(iters.back(), 0, nest.trips[l]);
+    }
+    for (std::size_t s = 0; s < nest.stmts.size(); ++s) {
+      const PlannedStmt& planned = nest.stmts[s];
+      auto stmt = pb.stmt("s" + std::to_string(n) + "_" + std::to_string(s), planned.op_cycles);
+      for (const PlannedAccess& access : planned.accesses) {
+        std::vector<ir::AffineExpr> index;
+        for (std::size_t d = 0; d < access.terms.size(); ++d) {
+          ir::AffineExpr expr(access.offsets[d]);
+          for (const auto& [iter, coef] : access.terms[d]) {
+            expr += ir::av(iters[static_cast<std::size_t>(iter)], coef);
+          }
+          index.push_back(std::move(expr));
+        }
+        if (access.is_write) {
+          stmt.write("arr" + std::to_string(access.array), std::move(index));
+        } else {
+          stmt.read("arr" + std::to_string(access.array), std::move(index));
+        }
+      }
+    }
+    for (std::size_t l = 0; l < nest.trips.size(); ++l) pb.end_loop();
+  }
+  return pb.finish();
+}
+
+}  // namespace mhla::testing

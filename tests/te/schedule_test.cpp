@@ -1,0 +1,88 @@
+#include "te/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mhla::te {
+namespace {
+
+BlockTransfer make_bt(double cycles, ir::i64 issues, bool write_back = false) {
+  BlockTransfer bt;
+  bt.id = 0;
+  bt.bytes = 100;
+  bt.issues = issues;
+  bt.cycles = cycles;
+  bt.write_back = write_back;
+  return bt;
+}
+
+TEST(Schedule, BlockingChargesFullTime) {
+  BlockTransfer bt = make_bt(50.0, 4);
+  EXPECT_DOUBLE_EQ(bt_stall_cycles(bt, TransferMode::Blocking, nullptr), 200.0);
+}
+
+TEST(Schedule, IdealChargesNothing) {
+  BlockTransfer bt = make_bt(50.0, 4);
+  EXPECT_DOUBLE_EQ(bt_stall_cycles(bt, TransferMode::Ideal, nullptr), 0.0);
+}
+
+TEST(Schedule, TimeExtendedChargesResidual) {
+  BlockTransfer bt = make_bt(50.0, 4);
+  BtExtension ext;
+  ext.hidden_cycles = 30.0;
+  EXPECT_DOUBLE_EQ(bt_stall_cycles(bt, TransferMode::TimeExtended, &ext), 80.0);
+}
+
+TEST(Schedule, FullyHiddenCostsZero) {
+  BlockTransfer bt = make_bt(50.0, 4);
+  BtExtension ext;
+  ext.hidden_cycles = 50.0;
+  EXPECT_DOUBLE_EQ(bt_stall_cycles(bt, TransferMode::TimeExtended, &ext), 0.0);
+}
+
+TEST(Schedule, OverHiddenNeverGoesNegative) {
+  BlockTransfer bt = make_bt(50.0, 4);
+  BtExtension ext;
+  ext.hidden_cycles = 500.0;
+  EXPECT_GE(bt_stall_cycles(bt, TransferMode::TimeExtended, &ext), 0.0);
+}
+
+TEST(Schedule, TimeExtendedWithoutExtensionThrows) {
+  BlockTransfer bt = make_bt(50.0, 4);
+  EXPECT_THROW(bt_stall_cycles(bt, TransferMode::TimeExtended, nullptr), std::invalid_argument);
+}
+
+TEST(Schedule, WriteBackAlwaysBlocksExceptIdeal) {
+  std::vector<BlockTransfer> bts = {make_bt(50.0, 2, /*write_back=*/true)};
+  EXPECT_DOUBLE_EQ(total_stall_cycles(bts, TransferMode::Blocking, nullptr), 200.0);
+  EXPECT_DOUBLE_EQ(total_stall_cycles(bts, TransferMode::Ideal, nullptr), 0.0);
+
+  TeResult te;
+  te.extensions.resize(1);
+  te.extensions[0].bt_id = 0;
+  te.extensions[0].hidden_cycles = 50.0;
+  // Fill hidden, flush still blocks: 0 + 100.
+  EXPECT_DOUBLE_EQ(total_stall_cycles(bts, TransferMode::TimeExtended, &te), 100.0);
+}
+
+TEST(Schedule, TotalStallSumsStreams) {
+  std::vector<BlockTransfer> bts = {make_bt(10.0, 3), make_bt(20.0, 1)};
+  bts[1].id = 1;
+  EXPECT_DOUBLE_EQ(total_stall_cycles(bts, TransferMode::Blocking, nullptr), 50.0);
+}
+
+TEST(Schedule, TeModeWithoutResultThrows) {
+  std::vector<BlockTransfer> bts = {make_bt(10.0, 3)};
+  EXPECT_THROW(total_stall_cycles(bts, TransferMode::TimeExtended, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Schedule, DmaBusyCountsBothDirections) {
+  std::vector<BlockTransfer> bts = {make_bt(10.0, 3, /*write_back=*/true), make_bt(5.0, 2)};
+  bts[1].id = 1;
+  EXPECT_DOUBLE_EQ(total_dma_busy_cycles(bts), 30.0 + 30.0 + 10.0);
+}
+
+}  // namespace
+}  // namespace mhla::te
