@@ -1,0 +1,301 @@
+// Search-engine scaling: how fast the MHLA step-1 searches run with the
+// incremental CostEngine (apply/undo delta evaluation + branch-and-bound)
+// versus the from-scratch estimate_cost path, and how the layer-size sweep
+// scales across worker threads.
+//
+// The reproduction block prints per-app wall-clock and evaluation-rate
+// comparisons plus a machine-readable JSON object; the google-benchmark
+// timers below repeat the measurements under its statistics (use
+// --benchmark_out=<file> --benchmark_out_format=json for the standard
+// BENCH JSON — stdout also carries the report block).
+
+#include "bench_common.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "assign/exhaustive.h"
+#include "core/json_report.h"
+#include "core/parallel_for.h"
+#include "ir/builder.h"
+
+namespace {
+
+using namespace mhla;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Medium instance both exhaustive paths accept (20 placements, well under
+/// the reference guard) whose search space exceeds the rate-measurement
+/// budget, so throughput is compared over an identical state count.
+ir::Program rate_program() {
+  ir::ProgramBuilder pb("rate");
+  pb.array("a", {32, 16}, 4).input();
+  pb.array("b", {16}, 4).input();
+  pb.array("o", {32}, 4).output();
+  pb.begin_loop("i", 0, 32);
+  pb.begin_loop("r", 0, 4);
+  pb.begin_loop("j", 0, 16);
+  pb.stmt("s", 2).read("a", {ir::av("i"), ir::av("j")}).read("b", {ir::av("j")});
+  pb.end_loop();
+  pb.end_loop();
+  pb.stmt("e", 1).write("o", {ir::av("i")});
+  pb.end_loop();
+  return pb.finish();
+}
+
+mem::PlatformConfig rate_platform() {
+  mem::PlatformConfig platform;
+  platform.l1_bytes = 512;
+  platform.l2_bytes = 4096;
+  return platform;
+}
+
+constexpr long kRateBudget = 50000;
+
+struct GreedyRow {
+  std::string app;
+  double reference_s = 0.0;
+  double engine_s = 0.0;
+  int evaluations = 0;
+};
+
+void print_scaling_report() {
+  bench::print_header("Search scaling: incremental cost engine + parallel sweep",
+                      "fast, accurate and automatic exploration (tool-speed claim)");
+
+  // --- Greedy: engine vs from-scratch, every app of the registry.
+  std::vector<GreedyRow> rows;
+  core::Table table({"application", "cost evals", "scratch ms", "engine ms", "speedup",
+                     "engine evals/s"});
+  for (const apps::AppInfo& info : apps::all_apps()) {
+    auto ws = core::make_workspace(info.build(), bench::default_platform(), {});
+    auto ctx = ws->context();
+    assign::GreedyOptions reference;
+    reference.use_cost_engine = false;
+    assign::GreedyOptions engine;
+
+    auto t0 = Clock::now();
+    assign::GreedyResult slow = assign::greedy_assign(ctx, reference);
+    double reference_s = seconds_since(t0);
+    t0 = Clock::now();
+    assign::GreedyResult fast = assign::greedy_assign(ctx, engine);
+    double engine_s = seconds_since(t0);
+
+    if (fast.final_scalar != slow.final_scalar) {
+      std::cout << "WARNING: engine/reference scalar mismatch on " << info.name << "\n";
+    }
+    rows.push_back({info.name, reference_s, engine_s, fast.evaluations});
+    table.add_row({info.name, std::to_string(fast.evaluations),
+                   core::Table::num(reference_s * 1e3, 2), core::Table::num(engine_s * 1e3, 2),
+                   core::Table::num(reference_s / (engine_s > 0 ? engine_s : 1e-9), 1) + "x",
+                   core::Table::num(fast.evaluations / (engine_s > 0 ? engine_s : 1e-9), 0)});
+  }
+  std::cout << table.str() << "\n";
+
+  // --- Exhaustive throughput: the mirror mode replays the reference DFS
+  // state for state (identical states_explored under the same budget), so
+  // states/sec isolates the per-state evaluation cost.  Branch-and-bound is
+  // then measured on top of the engine, and on a medium instance only the
+  // raised guard admits.
+  auto ws = core::make_workspace(rate_program(), rate_platform(), {});
+  auto ctx = ws->context();
+  assign::ExhaustiveOptions reference_options;
+  reference_options.use_cost_engine = false;
+  reference_options.max_states = kRateBudget;
+  assign::ExhaustiveOptions mirror_options;
+  mirror_options.use_branch_and_bound = false;
+  mirror_options.max_states = kRateBudget;
+  assign::ExhaustiveOptions bnb_options;
+  bnb_options.max_states = kRateBudget;
+
+  auto t0 = Clock::now();
+  assign::ExhaustiveResult reference = assign::exhaustive_assign(ctx, reference_options);
+  double reference_s = seconds_since(t0);
+  t0 = Clock::now();
+  assign::ExhaustiveResult mirror = assign::exhaustive_assign(ctx, mirror_options);
+  double mirror_s = seconds_since(t0);
+  t0 = Clock::now();
+  assign::ExhaustiveResult pruned = assign::exhaustive_assign(ctx, bnb_options);
+  double engine_s = seconds_since(t0);
+
+  double ref_rate = reference.states_explored / (reference_s > 0 ? reference_s : 1e-9);
+  double mirror_rate = mirror.states_explored / (mirror_s > 0 ? mirror_s : 1e-9);
+  std::cout << "exhaustive (rate instance, budget " << kRateBudget << "): scratch "
+            << reference.states_explored << " states, "
+            << core::Table::num(reference_s * 1e3, 2) << " ms ("
+            << core::Table::num(ref_rate, 0) << " states/s); engine mirror "
+            << mirror.states_explored << " states, " << core::Table::num(mirror_s * 1e3, 2)
+            << " ms (" << core::Table::num(mirror_rate, 0) << " states/s) — states/s speedup "
+            << core::Table::num(mirror_rate / ref_rate, 1) << "x\n";
+  std::cout << "branch-and-bound on top: " << pruned.states_explored << " states ("
+            << pruned.bound_prunes << " bound prunes, " << pruned.capacity_prunes
+            << " capacity prunes), " << core::Table::num(engine_s * 1e3, 2) << " ms, "
+            << (pruned.exhausted_budget ? "budget hit" : "search complete") << ", wall speedup vs scratch "
+            << core::Table::num(reference_s / (engine_s > 0 ? engine_s : 1e-9), 1) << "x\n";
+
+  auto medium_ws = core::make_workspace(apps::build_motion_estimation(),
+                                        bench::default_platform(), {});
+  auto medium_ctx = medium_ws->context();
+  assign::ExhaustiveOptions medium_options;
+  medium_options.max_states = 200000;
+  t0 = Clock::now();
+  assign::ExhaustiveResult medium = assign::exhaustive_assign(medium_ctx, medium_options);
+  double medium_s = seconds_since(t0);
+  std::cout << "branch-and-bound (motion_estimation, 46 placements, budget 200k): "
+            << medium.states_explored << " states, " << medium.bound_prunes
+            << " bound prunes, " << medium.capacity_prunes << " capacity prunes, "
+            << (medium.exhausted_budget ? "budget hit" : "complete") << ", "
+            << core::Table::num(medium_s * 1e3, 2) << " ms\n";
+
+  // --- Sweep: serial vs parallel wall-clock across the app registry.
+  unsigned hw = core::default_parallelism();
+  double serial_total = 0.0;
+  double parallel_total = 0.0;
+  for (const apps::AppInfo& info : apps::all_apps()) {
+    ir::Program program = info.build();
+    xplore::SweepConfig config = xplore::default_sweep();
+    config.num_threads = 1;
+    t0 = Clock::now();
+    auto serial = xplore::sweep_layer_sizes(program, config);
+    serial_total += seconds_since(t0);
+    config.num_threads = 0;  // hardware concurrency
+    t0 = Clock::now();
+    auto parallel = xplore::sweep_layer_sizes(program, config);
+    parallel_total += seconds_since(t0);
+    if (serial.size() != parallel.size()) {
+      std::cout << "WARNING: sweep sample-count mismatch on " << info.name << "\n";
+    }
+  }
+  std::cout << "default_sweep over 9 apps: serial " << core::Table::num(serial_total * 1e3, 1)
+            << " ms, parallel (" << hw << " threads) "
+            << core::Table::num(parallel_total * 1e3, 1) << " ms, speedup "
+            << core::Table::num(serial_total / (parallel_total > 0 ? parallel_total : 1e-9), 2)
+            << "x\n\n";
+
+  // --- Machine-readable summary.
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"search_scaling\",\n  \"greedy\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const GreedyRow& row = rows[i];
+    json << "    {\"app\": \"" << core::json_escape(row.app) << "\", \"evaluations\": "
+         << row.evaluations << ", \"scratch_s\": " << row.reference_s
+         << ", \"engine_s\": " << row.engine_s << "}" << (i + 1 < rows.size() ? "," : "")
+         << "\n";
+  }
+  json << "  ],\n"
+       << "  \"exhaustive\": {\"scratch_states\": " << reference.states_explored
+       << ", \"scratch_s\": " << reference_s << ", \"mirror_states\": "
+       << mirror.states_explored << ", \"mirror_s\": " << mirror_s
+       << ", \"bnb_states\": " << pruned.states_explored << ", \"bnb_s\": " << engine_s
+       << ", \"bnb_bound_prunes\": " << pruned.bound_prunes
+       << ", \"medium_states\": " << medium.states_explored
+       << ", \"medium_bound_prunes\": " << medium.bound_prunes
+       << ", \"medium_capacity_prunes\": " << medium.capacity_prunes << "},\n"
+       << "  \"sweep\": {\"threads\": " << hw << ", \"serial_s\": " << serial_total
+       << ", \"parallel_s\": " << parallel_total << "}\n}\n";
+  std::cout << json.str() << "\n";
+}
+
+void BM_GreedyReference(benchmark::State& state) {
+  const apps::AppInfo& info = apps::all_apps()[static_cast<std::size_t>(state.range(0))];
+  auto ws = core::make_workspace(info.build(), bench::default_platform(), {});
+  auto ctx = ws->context();
+  assign::GreedyOptions options;
+  options.use_cost_engine = false;
+  int evaluations = 0;
+  for (auto _ : state) {
+    assign::GreedyResult result = assign::greedy_assign(ctx, options);
+    evaluations = result.evaluations;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["evals/s"] =
+      benchmark::Counter(static_cast<double>(evaluations), benchmark::Counter::kIsIterationInvariantRate);
+  state.SetLabel(info.name);
+}
+const int kLastAppIndex = static_cast<int>(apps::all_apps().size()) - 1;
+BENCHMARK(BM_GreedyReference)->DenseRange(0, kLastAppIndex);
+
+void BM_GreedyEngine(benchmark::State& state) {
+  const apps::AppInfo& info = apps::all_apps()[static_cast<std::size_t>(state.range(0))];
+  auto ws = core::make_workspace(info.build(), bench::default_platform(), {});
+  auto ctx = ws->context();
+  int evaluations = 0;
+  for (auto _ : state) {
+    assign::GreedyResult result = assign::greedy_assign(ctx, {});
+    evaluations = result.evaluations;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["evals/s"] =
+      benchmark::Counter(static_cast<double>(evaluations), benchmark::Counter::kIsIterationInvariantRate);
+  state.SetLabel(info.name);
+}
+BENCHMARK(BM_GreedyEngine)->DenseRange(0, kLastAppIndex);
+
+void run_exhaustive_bench(benchmark::State& state, const assign::ExhaustiveOptions& options) {
+  auto ws = core::make_workspace(rate_program(), rate_platform(), {});
+  auto ctx = ws->context();
+  long states = 0;
+  for (auto _ : state) {
+    assign::ExhaustiveResult result = assign::exhaustive_assign(ctx, options);
+    states = result.states_explored;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["states/s"] =
+      benchmark::Counter(static_cast<double>(states), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_ExhaustiveReference(benchmark::State& state) {
+  assign::ExhaustiveOptions options;
+  options.use_cost_engine = false;
+  options.max_states = kRateBudget;
+  run_exhaustive_bench(state, options);
+}
+BENCHMARK(BM_ExhaustiveReference);
+
+void BM_ExhaustiveEngineMirror(benchmark::State& state) {
+  assign::ExhaustiveOptions options;
+  options.use_branch_and_bound = false;
+  options.max_states = kRateBudget;
+  run_exhaustive_bench(state, options);
+}
+BENCHMARK(BM_ExhaustiveEngineMirror);
+
+void BM_ExhaustiveBranchAndBound(benchmark::State& state) {
+  assign::ExhaustiveOptions options;
+  options.max_states = kRateBudget;
+  run_exhaustive_bench(state, options);
+}
+BENCHMARK(BM_ExhaustiveBranchAndBound);
+
+void BM_SweepSerial(benchmark::State& state) {
+  ir::Program program = apps::build_motion_estimation();
+  xplore::SweepConfig config = xplore::default_sweep();
+  config.num_threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xplore::sweep_layer_sizes(program, config));
+  }
+}
+BENCHMARK(BM_SweepSerial);
+
+void BM_SweepParallel(benchmark::State& state) {
+  ir::Program program = apps::build_motion_estimation();
+  xplore::SweepConfig config = xplore::default_sweep();
+  config.num_threads = 0;  // hardware concurrency
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xplore::sweep_layer_sizes(program, config));
+  }
+}
+BENCHMARK(BM_SweepParallel);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scaling_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -31,6 +31,8 @@ struct AssignContext {
 struct PlacedCopy {
   int cc_id = -1;
   int layer = -1;
+
+  friend bool operator==(const PlacedCopy&, const PlacedCopy&) = default;
 };
 
 /// MHLA step-1 result: a home layer for every array plus a set of selected,
@@ -45,6 +47,10 @@ struct Assignment {
 
   /// Home layer of `array`; defaults to `fallback` when unassigned.
   int layer_of(const std::string& array, int fallback) const;
+
+  /// Structural equality, including copy selection order (the order matters
+  /// for the canonical cost-accumulation sequence).
+  friend bool operator==(const Assignment&, const Assignment&) = default;
 };
 
 /// The out-of-the-box configuration the paper normalizes against: every

@@ -5,12 +5,15 @@
 namespace mhla::assign {
 
 CostEstimate estimate_cost(const AssignContext& ctx, const Assignment& assignment) {
+  return estimate_cost(ctx, assignment, resolve(ctx, assignment));
+}
+
+CostEstimate estimate_cost(const AssignContext& ctx, const Assignment& assignment,
+                           const Resolution& res) {
   CostEstimate cost;
   int num_layers = ctx.hierarchy.num_layers();
   cost.layer_reads.assign(static_cast<std::size_t>(num_layers), 0);
   cost.layer_writes.assign(static_cast<std::size_t>(num_layers), 0);
-
-  Resolution res = resolve(ctx, assignment);
 
   // Statement computation.
   ir::walk_statements(ctx.program,
@@ -82,8 +85,11 @@ CostEstimate estimate_cost(const AssignContext& ctx, const Assignment& assignmen
 }
 
 std::vector<double> nest_cpu_cycles(const AssignContext& ctx, const Assignment& assignment) {
+  return nest_cpu_cycles(ctx, resolve(ctx, assignment));
+}
+
+std::vector<double> nest_cpu_cycles(const AssignContext& ctx, const Resolution& res) {
   std::vector<double> cycles(ctx.program.top().size(), 0.0);
-  Resolution res = resolve(ctx, assignment);
 
   ir::walk_statements(ctx.program,
                       [&](int nest, const ir::LoopPath& path, const ir::StmtNode& stmt) {
@@ -102,7 +108,11 @@ std::vector<double> nest_cpu_cycles(const AssignContext& ctx, const Assignment& 
 
 double loop_iteration_cpu_cycles(const AssignContext& ctx, const Assignment& assignment, int nest,
                                  const ir::LoopNode* loop) {
-  Resolution res = resolve(ctx, assignment);
+  return loop_iteration_cpu_cycles(ctx, resolve(ctx, assignment), nest, loop);
+}
+
+double loop_iteration_cpu_cycles(const AssignContext& ctx, const Resolution& res, int nest,
+                                 const ir::LoopNode* loop) {
   double cycles = 0.0;
 
   auto inner_iterations = [&](const ir::LoopPath& path) -> i64 {

@@ -27,6 +27,12 @@ struct CostEstimate {
 /// cross-checked against) the simulator in sim/.
 CostEstimate estimate_cost(const AssignContext& ctx, const Assignment& assignment);
 
+/// Same, but reusing a `Resolution` the caller already computed for
+/// `assignment`.  Callers that evaluate several views of one assignment
+/// (cost + per-nest cycles + per-loop cycles) resolve once and share it.
+CostEstimate estimate_cost(const AssignContext& ctx, const Assignment& assignment,
+                           const Resolution& res);
+
 /// Scalarization of (energy, time) used by the search heuristics.
 /// Weights are relative to the out-of-box baseline, so energy_weight = 1,
 /// time_weight = 1 values both objectives equally regardless of units.
@@ -36,10 +42,17 @@ struct Objective {
   double baseline_energy_nj = 1.0;
   double baseline_cycles = 1.0;
 
-  double scalar(const CostEstimate& cost) const {
-    double e = cost.energy_nj / baseline_energy_nj;
-    double t = cost.total_cycles() / baseline_cycles;
+  /// Scalarize raw (energy, cycles) totals.  `scalar()` delegates here so
+  /// the incremental CostEngine can score without materializing a full
+  /// CostEstimate; both paths share the exact same arithmetic.
+  double scalar_terms(double energy_nj, double total_cycles) const {
+    double e = energy_nj / baseline_energy_nj;
+    double t = total_cycles / baseline_cycles;
     return energy_weight * e + time_weight * t;
+  }
+
+  double scalar(const CostEstimate& cost) const {
+    return scalar_terms(cost.energy_nj, cost.total_cycles());
   }
 };
 
@@ -51,11 +64,20 @@ Objective make_objective(const AssignContext& ctx, double energy_weight, double 
 /// This is the "hiding budget" the time extensions draw from.
 std::vector<double> nest_cpu_cycles(const AssignContext& ctx, const Assignment& assignment);
 
+/// Resolution-reusing variant: no internal `resolve()` call.
+std::vector<double> nest_cpu_cycles(const AssignContext& ctx, const Resolution& res);
+
 /// CPU cycles of a single iteration of `loop` (which must belong to nest
 /// `nest`), again excluding transfer stalls.  Used by TE's iteration
 /// lookahead: prefetching one carrying-loop iteration ahead can hide at most
 /// this many cycles per block transfer.
 double loop_iteration_cpu_cycles(const AssignContext& ctx, const Assignment& assignment, int nest,
+                                 const ir::LoopNode* loop);
+
+/// Resolution-reusing variant: no internal `resolve()` call.  TE's lookahead
+/// invokes this once per block transfer for one fixed assignment; resolving
+/// per call made it O(transfers x program).
+double loop_iteration_cpu_cycles(const AssignContext& ctx, const Resolution& res, int nest,
                                  const ir::LoopNode* loop);
 
 }  // namespace mhla::assign

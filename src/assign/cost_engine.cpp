@@ -1,0 +1,425 @@
+#include "assign/cost_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ir/walk.h"
+
+namespace mhla::assign {
+
+CostEngine::CostEngine(const AssignContext& ctx)
+    : ctx_(ctx),
+      num_layers_(ctx.hierarchy.num_layers()),
+      background_(ctx.hierarchy.background()) {
+  const std::size_t L = static_cast<std::size_t>(num_layers_);
+
+  // Assignment-independent compute cycles: one IR walk, accumulated exactly
+  // like estimate_cost so the cached value is bit-identical.
+  ir::walk_statements(ctx_.program,
+                      [&](int /*nest*/, const ir::LoopPath& path, const ir::StmtNode& stmt) {
+                        compute_cycles_ += static_cast<double>(ir::iterations_of(path)) *
+                                           static_cast<double>(stmt.op_cycles());
+                      });
+
+  // Array catalog.
+  const auto& arrays = ctx_.program.arrays();
+  array_input_.resize(arrays.size());
+  array_output_.resize(arrays.size());
+  array_elems_.resize(arrays.size());
+  pin_fill_energy_.assign(arrays.size() * L, 0.0);
+  pin_fill_cycles_.assign(arrays.size() * L, 0.0);
+  pin_flush_energy_.assign(arrays.size() * L, 0.0);
+  pin_flush_cycles_.assign(arrays.size() * L, 0.0);
+  const mem::MemLayer& bg = ctx_.hierarchy.layer(background_);
+  for (std::size_t a = 0; a < arrays.size(); ++a) {
+    array_names_.push_back(arrays[a].name);
+    array_index_.emplace(arrays[a].name, a);
+    array_input_[a] = arrays[a].is_input;
+    array_output_[a] = arrays[a].is_output;
+    array_elems_[a] = arrays[a].elems();
+    double elems = static_cast<double>(arrays[a].elems());
+    for (int home = 0; home < background_; ++home) {
+      const mem::MemLayer& hl = ctx_.hierarchy.layer(home);
+      std::size_t idx = a * L + static_cast<std::size_t>(home);
+      pin_fill_energy_[idx] = elems * (bg.access_energy_nj(false) + hl.access_energy_nj(true));
+      pin_fill_cycles_[idx] = mem::blocking_transfer_cycles(arrays[a].bytes(), bg, hl, ctx_.dma);
+      pin_flush_energy_[idx] = elems * (hl.access_energy_nj(false) + bg.access_energy_nj(true));
+      pin_flush_cycles_[idx] = mem::blocking_transfer_cycles(arrays[a].bytes(), hl, bg, ctx_.dma);
+    }
+  }
+
+  // Per-site terms for every possible serving layer.
+  const std::size_t S = ctx_.sites.size();
+  site_n_.resize(S);
+  site_write_.resize(S);
+  site_array_.resize(S);
+  site_energy_.assign(S * L, 0.0);
+  site_cycles_.assign(S * L, 0.0);
+  covering_.resize(S);
+  for (const analysis::AccessSite& site : ctx_.sites) {
+    std::size_t s = static_cast<std::size_t>(site.id);
+    i64 n = site.dynamic_accesses();
+    bool is_write = site.is_write();
+    site_n_[s] = n;
+    site_write_[s] = is_write;
+    site_array_[s] = array_index(site.access->array);
+    for (int l = 0; l < num_layers_; ++l) {
+      const mem::MemLayer& layer = ctx_.hierarchy.layer(l);
+      site_energy_[s * L + static_cast<std::size_t>(l)] =
+          static_cast<double>(n) * layer.access_energy_nj(is_write);
+      site_cycles_[s * L + static_cast<std::size_t>(l)] =
+          static_cast<double>(n) * layer.access_latency(is_write);
+    }
+  }
+
+  // Per-candidate structure and transfer terms for every layer pair.
+  const auto& candidates = ctx_.reuse.candidates();
+  const std::size_t C = candidates.size();
+  cc_level_.resize(C);
+  cc_fill_free_.resize(C);
+  cc_write_back_.resize(C);
+  cc_elems_moved_.resize(C);
+  cc_sites_.resize(C);
+  cc_ancestors_.resize(C);
+  cc_array_.resize(C);
+  fill_energy_.assign(C * L * L, 0.0);
+  wb_energy_.assign(C * L * L, 0.0);
+  xfer_cycles_.assign(C * L * L, 0.0);
+  for (const analysis::CopyCandidate& cc : candidates) {
+    std::size_t c = static_cast<std::size_t>(cc.id);
+    cc_level_[c] = cc.level;
+    cc_fill_free_[c] = cc.fill_free;
+    cc_write_back_[c] = cc.has_writes();
+    cc_elems_moved_[c] = cc.transfers * cc.elems_per_transfer;
+    cc_array_[c] = array_index(cc.array);
+    double fills = static_cast<double>(cc_elems_moved_[c]);
+    for (int src = 0; src < num_layers_; ++src) {
+      const mem::MemLayer& sl = ctx_.hierarchy.layer(src);
+      for (int dst = 0; dst < num_layers_; ++dst) {
+        const mem::MemLayer& dl = ctx_.hierarchy.layer(dst);
+        std::size_t idx = table_index(cc.id, src, dst);
+        double per_issue = mem::blocking_transfer_cycles(cc.bytes_per_transfer(), sl, dl, ctx_.dma);
+        fill_energy_[idx] = fills * (sl.access_energy_nj(false) + dl.access_energy_nj(true));
+        wb_energy_[idx] = fills * (dl.access_energy_nj(false) + sl.access_energy_nj(true));
+        xfer_cycles_[idx] = static_cast<double>(cc.transfers) * per_issue;
+      }
+    }
+    for (const analysis::AccessSite& site : ctx_.sites) {
+      if (cc_covers_site(cc, site)) {
+        cc_sites_[c].push_back(site.id);
+        covering_[static_cast<std::size_t>(site.id)].push_back(cc.id);
+      }
+    }
+    for (const analysis::CopyCandidate& other : candidates) {
+      if (cc_is_ancestor(other, cc)) cc_ancestors_[c].push_back(other.id);
+    }
+    std::sort(cc_ancestors_[c].begin(), cc_ancestors_[c].end(),
+              [&](int a, int b) { return candidates[static_cast<std::size_t>(a)].level >
+                                         candidates[static_cast<std::size_t>(b)].level; });
+  }
+  for (std::vector<int>& cov : covering_) {
+    std::sort(cov.begin(), cov.end(), [&](int a, int b) {
+      return candidates[static_cast<std::size_t>(a)].level >
+             candidates[static_cast<std::size_t>(b)].level;
+    });
+  }
+
+  load(out_of_box(ctx_));
+}
+
+std::size_t CostEngine::array_index(const std::string& name) const {
+  auto it = array_index_.find(name);
+  if (it == array_index_.end()) {
+    throw std::invalid_argument("CostEngine: unknown array " + name);
+  }
+  return it->second;
+}
+
+void CostEngine::validate_copy(int cc_id, int layer) const {
+  if (cc_id < 0 || static_cast<std::size_t>(cc_id) >= copy_layer_.size()) {
+    throw std::invalid_argument("CostEngine: unknown copy candidate id " + std::to_string(cc_id));
+  }
+  if (layer < 0 || layer >= num_layers_) {
+    throw std::invalid_argument("CostEngine: copy placed on unknown layer " +
+                                std::to_string(layer));
+  }
+}
+
+void CostEngine::load(const Assignment& assignment) {
+  undo_.clear();
+  copy_layer_.assign(ctx_.reuse.candidates().size(), -1);
+  for (const PlacedCopy& pc : assignment.copies) {
+    validate_copy(pc.cc_id, pc.layer);
+    if (copy_layer_[static_cast<std::size_t>(pc.cc_id)] >= 0) {
+      throw std::invalid_argument("CostEngine: duplicate copy candidate " +
+                                  std::to_string(pc.cc_id));
+    }
+    copy_layer_[static_cast<std::size_t>(pc.cc_id)] = pc.layer;
+  }
+  assignment_ = assignment;
+
+  home_.resize(array_names_.size());
+  for (std::size_t a = 0; a < array_names_.size(); ++a) {
+    home_[a] = assignment_.layer_of(array_names_[a], background_);
+  }
+
+  serving_cc_.assign(site_n_.size(), -1);
+  for (std::size_t s = 0; s < serving_cc_.size(); ++s) {
+    for (int cc : covering_[s]) {
+      if (copy_layer_[static_cast<std::size_t>(cc)] >= 0) {
+        serving_cc_[s] = cc;  // covering_ is level-descending: first hit is deepest
+        break;
+      }
+    }
+  }
+}
+
+void CostEngine::set_serving(std::size_t site, int cc_id) {
+  undo_.push_back({UndoRec::Kind::Serving, static_cast<int>(site), serving_cc_[site], 0});
+  serving_cc_[site] = cc_id;
+}
+
+void CostEngine::select_copy(int cc_id, int layer) {
+  validate_copy(cc_id, layer);
+  std::size_t c = static_cast<std::size_t>(cc_id);
+  if (copy_layer_[c] >= 0) {
+    throw std::invalid_argument("CostEngine: candidate already selected " + std::to_string(cc_id));
+  }
+  copy_layer_[c] = layer;
+  assignment_.copies.push_back({cc_id, layer});
+  undo_.push_back({UndoRec::Kind::CopyPush, cc_id, 0, 0});
+  for (int site : cc_sites_[c]) {
+    std::size_t s = static_cast<std::size_t>(site);
+    int cur = serving_cc_[s];
+    if (cur < 0 || cc_level_[static_cast<std::size_t>(cur)] < cc_level_[c]) {
+      set_serving(s, cc_id);
+    }
+  }
+}
+
+void CostEngine::remove_copy(int cc_id) {
+  std::size_t c = static_cast<std::size_t>(cc_id);
+  if (cc_id < 0 || c >= copy_layer_.size() || copy_layer_[c] < 0) {
+    throw std::invalid_argument("CostEngine: candidate not selected " + std::to_string(cc_id));
+  }
+  int index = -1;
+  for (std::size_t i = 0; i < assignment_.copies.size(); ++i) {
+    if (assignment_.copies[i].cc_id == cc_id) {
+      index = static_cast<int>(i);
+      break;
+    }
+  }
+  undo_.push_back({UndoRec::Kind::CopyErase, cc_id, copy_layer_[c], index});
+  assignment_.copies.erase(assignment_.copies.begin() + index);
+  copy_layer_[c] = -1;
+  for (int site : cc_sites_[c]) {
+    std::size_t s = static_cast<std::size_t>(site);
+    if (serving_cc_[s] != cc_id) continue;
+    int replacement = -1;
+    for (int other : covering_[s]) {
+      if (copy_layer_[static_cast<std::size_t>(other)] >= 0) {
+        replacement = other;
+        break;
+      }
+    }
+    set_serving(s, replacement);
+  }
+}
+
+void CostEngine::set_home(const std::string& array, int layer) {
+  if (layer < 0 || layer >= num_layers_) {
+    throw std::invalid_argument("CostEngine: home on unknown layer " + std::to_string(layer));
+  }
+  std::size_t a = array_index(array);
+  if (home_[a] == layer) return;
+  undo_.push_back({UndoRec::Kind::Home, static_cast<int>(a), home_[a], 0});
+  home_[a] = layer;
+  assignment_.array_layer[array_names_[a]] = layer;
+}
+
+int CostEngine::migrate_array(const std::string& array, int layer) {
+  set_home(array, layer);
+  // Same fixpoint as drop_invalid_copies: offenders of one pass are computed
+  // against the state entering the pass, then removed together.
+  int dropped = 0;
+  for (;;) {
+    std::vector<int> offenders;
+    for (const PlacedCopy& pc : assignment_.copies) {
+      if (pc.layer >= parent_layer(pc.cc_id)) offenders.push_back(pc.cc_id);
+    }
+    if (offenders.empty()) break;
+    for (int cc : offenders) remove_copy(cc);
+    dropped += static_cast<int>(offenders.size());
+  }
+  return dropped;
+}
+
+void CostEngine::undo_to(Checkpoint mark) {
+  while (undo_.size() > mark) {
+    const UndoRec rec = undo_.back();
+    undo_.pop_back();
+    switch (rec.kind) {
+      case UndoRec::Kind::Serving:
+        serving_cc_[static_cast<std::size_t>(rec.a)] = rec.b;
+        break;
+      case UndoRec::Kind::CopyPush:
+        assignment_.copies.pop_back();
+        copy_layer_[static_cast<std::size_t>(rec.a)] = -1;
+        break;
+      case UndoRec::Kind::CopyErase:
+        assignment_.copies.insert(assignment_.copies.begin() + rec.c, {rec.a, rec.b});
+        copy_layer_[static_cast<std::size_t>(rec.a)] = rec.b;
+        break;
+      case UndoRec::Kind::Home:
+        home_[static_cast<std::size_t>(rec.a)] = rec.b;
+        assignment_.array_layer[array_names_[static_cast<std::size_t>(rec.a)]] = rec.b;
+        break;
+    }
+  }
+}
+
+int CostEngine::parent_layer(int cc_id) const {
+  std::size_t c = static_cast<std::size_t>(cc_id);
+  for (int anc : cc_ancestors_[c]) {
+    int layer = copy_layer_[static_cast<std::size_t>(anc)];
+    if (layer >= 0) return layer;  // ancestors are level-descending: deepest first
+  }
+  return home_[cc_array_[c]];
+}
+
+bool CostEngine::layering_valid() const {
+  for (const PlacedCopy& pc : assignment_.copies) {
+    if (pc.layer >= parent_layer(pc.cc_id)) return false;
+  }
+  return true;
+}
+
+CostEngine::Totals CostEngine::totals() const {
+  // Accumulation mirrors estimate_cost term by term and in the same order:
+  // sites in id order, transfers in copy-selection order, pinned arrays in
+  // declaration order.  Identical doubles in, identical order, identical out.
+  Totals t;
+  t.compute_cycles = compute_cycles_;
+  const std::size_t L = static_cast<std::size_t>(num_layers_);
+  for (std::size_t s = 0; s < site_n_.size(); ++s) {
+    std::size_t l = static_cast<std::size_t>(serving_layer(s));
+    t.energy_nj += site_energy_[s * L + l];
+    t.access_cycles += site_cycles_[s * L + l];
+  }
+  for (const PlacedCopy& pc : assignment_.copies) {
+    std::size_t c = static_cast<std::size_t>(pc.cc_id);
+    std::size_t idx = table_index(pc.cc_id, parent_layer(pc.cc_id), pc.layer);
+    if (!cc_fill_free_[c]) {
+      t.energy_nj += fill_energy_[idx];
+      t.transfer_cycles += xfer_cycles_[idx];
+    }
+    if (cc_write_back_[c]) {
+      t.energy_nj += wb_energy_[idx];
+      t.transfer_cycles += xfer_cycles_[idx];
+    }
+  }
+  const std::size_t Lp = static_cast<std::size_t>(num_layers_);
+  for (std::size_t a = 0; a < array_names_.size(); ++a) {
+    int home = home_[a];
+    if (home == background_) continue;
+    std::size_t idx = a * Lp + static_cast<std::size_t>(home);
+    if (array_input_[a]) {
+      t.energy_nj += pin_fill_energy_[idx];
+      t.transfer_cycles += pin_fill_cycles_[idx];
+    }
+    if (array_output_[a]) {
+      t.energy_nj += pin_flush_energy_[idx];
+      t.transfer_cycles += pin_flush_cycles_[idx];
+    }
+  }
+  return t;
+}
+
+CostEstimate CostEngine::cost() const {
+  CostEstimate cost;
+  cost.layer_reads.assign(static_cast<std::size_t>(num_layers_), 0);
+  cost.layer_writes.assign(static_cast<std::size_t>(num_layers_), 0);
+
+  Totals t = totals();
+  cost.energy_nj = t.energy_nj;
+  cost.compute_cycles = t.compute_cycles;
+  cost.access_cycles = t.access_cycles;
+  cost.transfer_cycles = t.transfer_cycles;
+
+  for (std::size_t s = 0; s < site_n_.size(); ++s) {
+    std::size_t l = static_cast<std::size_t>(serving_layer(s));
+    if (site_write_[s]) {
+      cost.layer_writes[l] += site_n_[s];
+    } else {
+      cost.layer_reads[l] += site_n_[s];
+    }
+  }
+  for (const PlacedCopy& pc : assignment_.copies) {
+    std::size_t c = static_cast<std::size_t>(pc.cc_id);
+    std::size_t src = static_cast<std::size_t>(parent_layer(pc.cc_id));
+    std::size_t dst = static_cast<std::size_t>(pc.layer);
+    if (!cc_fill_free_[c]) {
+      cost.layer_reads[src] += cc_elems_moved_[c];
+      cost.layer_writes[dst] += cc_elems_moved_[c];
+    }
+    if (cc_write_back_[c]) {
+      cost.layer_reads[dst] += cc_elems_moved_[c];
+      cost.layer_writes[src] += cc_elems_moved_[c];
+    }
+  }
+  std::size_t bg = static_cast<std::size_t>(background_);
+  for (std::size_t a = 0; a < array_names_.size(); ++a) {
+    int home = home_[a];
+    if (home == background_) continue;
+    std::size_t h = static_cast<std::size_t>(home);
+    if (array_input_[a]) {
+      cost.layer_reads[bg] += array_elems_[a];
+      cost.layer_writes[h] += array_elems_[a];
+    }
+    if (array_output_[a]) {
+      cost.layer_reads[h] += array_elems_[a];
+      cost.layer_writes[bg] += array_elems_[a];
+    }
+  }
+  return cost;
+}
+
+double CostEngine::cc_energy_term(int cc_id, int src, int dst) const {
+  std::size_t c = static_cast<std::size_t>(cc_id);
+  std::size_t idx = table_index(cc_id, src, dst);
+  double energy = 0.0;
+  if (!cc_fill_free_[c]) energy += fill_energy_[idx];
+  if (cc_write_back_[c]) energy += wb_energy_[idx];
+  return energy;
+}
+
+double CostEngine::cc_cycle_term(int cc_id, int src, int dst) const {
+  std::size_t c = static_cast<std::size_t>(cc_id);
+  std::size_t idx = table_index(cc_id, src, dst);
+  double cycles = 0.0;
+  if (!cc_fill_free_[c]) cycles += xfer_cycles_[idx];
+  if (cc_write_back_[c]) cycles += xfer_cycles_[idx];
+  return cycles;
+}
+
+std::pair<double, double> CostEngine::pinned_totals() const {
+  double energy = 0.0;
+  double cycles = 0.0;
+  const std::size_t L = static_cast<std::size_t>(num_layers_);
+  for (std::size_t a = 0; a < array_names_.size(); ++a) {
+    int home = home_[a];
+    if (home == background_) continue;
+    std::size_t idx = a * L + static_cast<std::size_t>(home);
+    if (array_input_[a]) {
+      energy += pin_fill_energy_[idx];
+      cycles += pin_fill_cycles_[idx];
+    }
+    if (array_output_[a]) {
+      energy += pin_flush_energy_[idx];
+      cycles += pin_flush_cycles_[idx];
+    }
+  }
+  return {energy, cycles};
+}
+
+}  // namespace mhla::assign

@@ -1,0 +1,222 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "assign/cost.h"
+
+namespace mhla::assign {
+
+/// Incremental cost evaluator for the MHLA searches.
+///
+/// `estimate_cost()` pays a full `resolve()` (O(sites x copies) with string
+/// map lookups), a complete IR statement walk for the assignment-independent
+/// compute cycles, and a pass over every access site — for *every* candidate
+/// state a search scores.  The engine precomputes every assignment-independent
+/// term once per `AssignContext`:
+///
+///  * total compute cycles (one IR walk at construction),
+///  * per-site access counts and the energy/latency term for every possible
+///    serving layer,
+///  * per-candidate transfer terms for every (source, destination) layer pair,
+///  * per-array pinned fill/flush terms for every possible home layer,
+///  * the site -> covering-candidate and candidate -> ancestor maps that
+///    `resolve()` rederives from scratch each call,
+///
+/// and then maintains the resolution (serving layer per site, parent store
+/// per selected copy) incrementally under `select_copy` / `remove_copy` /
+/// `migrate_array` moves, each undoable in LIFO order via checkpoints.
+/// Applying or undoing a move costs O(sites covered by the touched candidate)
+/// — O(changed sites + changed transfers), not O(program).
+///
+/// ## Exactness contract
+///
+/// `cost()` / `totals()` / `scalar()` are **bit-identical** to
+/// `estimate_cost(ctx, assignment())` (and `Objective::scalar` of it): the
+/// engine caches the very term values the from-scratch path computes and
+/// re-accumulates them in the same canonical order (sites in id order, then
+/// transfers in copy-selection order, then pinned arrays in declaration
+/// order).  Floating-point summation order is part of the contract; searches
+/// built on the engine make exactly the decisions the from-scratch searches
+/// make.  The scalar read is O(sites + copies) cached additions; the
+/// expensive parts (resolution, model lookups, IR walks, allocation) are
+/// all precomputed or maintained incrementally.
+///
+/// The engine's assignment must not hold duplicate copy-candidate entries
+/// (`load` throws std::invalid_argument; searches never create duplicates).
+class CostEngine {
+ public:
+  explicit CostEngine(const AssignContext& ctx);
+
+  /// Full (re)load of an assignment: one O(sites x covering) resolution.
+  /// Clears the undo history.
+  void load(const Assignment& assignment);
+
+  /// The live assignment the engine mirrors.  Mutated in place by the move
+  /// methods; copy it if you need a snapshot.
+  const Assignment& assignment() const { return assignment_; }
+
+  const AssignContext& context() const { return ctx_; }
+
+  // -------------------------------------------------------------- moves
+  /// A checkpoint marks a point in the undo history; `undo_to` rewinds to
+  /// it.  Checkpoints nest (LIFO): rewind to an older checkpoint undoes
+  /// everything after it, compound moves included.
+  using Checkpoint = std::size_t;
+  Checkpoint checkpoint() const { return undo_.size(); }
+  void undo_to(Checkpoint mark);
+
+  /// Select candidate `cc_id` on `layer`.  Throws std::invalid_argument on
+  /// unknown ids/layers or if the candidate is already selected (mirrors
+  /// `resolve()`'s validation).
+  void select_copy(int cc_id, int layer);
+
+  /// Deselect candidate `cc_id` (must be selected).
+  void remove_copy(int cc_id);
+
+  /// Move `array`'s home to `layer` and drop every copy the new home makes
+  /// layering-invalid, exactly like `drop_invalid_copies`.  Returns the
+  /// number of copies dropped.  The whole compound move rewinds as one unit
+  /// via a checkpoint taken before the call.
+  int migrate_array(const std::string& array, int layer);
+
+  /// Primitive home change without the invalid-copy sweep (exhaustive
+  /// enumeration sets homes before any copy exists).
+  void set_home(const std::string& array, int layer);
+
+  // ------------------------------------------------------------ queries
+  bool has_copy(int cc_id) const { return copy_layer_[static_cast<std::size_t>(cc_id)] >= 0; }
+  int copy_layer(int cc_id) const { return copy_layer_[static_cast<std::size_t>(cc_id)]; }
+  int home_of(std::size_t array_index) const { return home_[array_index]; }
+
+  /// Layer serving access site `site` under the current assignment
+  /// (== resolve().site_layer[site]).
+  int serving_layer(std::size_t site) const {
+    int cc = serving_cc_[site];
+    return cc >= 0 ? copy_layer_[static_cast<std::size_t>(cc)] : home_[site_array_[site]];
+  }
+
+  /// Parent-store layer of candidate `cc_id` (deepest selected ancestor, or
+  /// the array's home layer) under the current assignment.
+  int parent_layer(int cc_id) const;
+
+  /// True iff every selected copy sits strictly closer to the processor than
+  /// its parent store.  O(copies x chain depth), no resolve.
+  bool layering_valid() const;
+
+  // --------------------------------------------------------- evaluation
+  /// The scalar-relevant accumulators of a CostEstimate, without the
+  /// per-layer access-count vectors (no allocation on the hot path).
+  struct Totals {
+    double energy_nj = 0.0;
+    double compute_cycles = 0.0;
+    double access_cycles = 0.0;
+    double transfer_cycles = 0.0;
+    double total_cycles() const { return compute_cycles + access_cycles + transfer_cycles; }
+  };
+
+  /// Bit-identical to the double fields of `estimate_cost(ctx, assignment())`.
+  Totals totals() const;
+
+  /// Bit-identical to `estimate_cost(ctx, assignment())`, counts included.
+  CostEstimate cost() const;
+
+  /// Bit-identical to `objective.scalar(estimate_cost(ctx, assignment()))`.
+  double scalar(const Objective& objective) const {
+    Totals t = totals();
+    return objective.scalar_terms(t.energy_nj, t.total_cycles());
+  }
+
+  // ------------------------------------------- precomputed term accessors
+  // Exposed for the branch-and-bound lower bound in exhaustive_assign: the
+  // bound is built from the same cached terms the evaluation uses, so it is
+  // admissible by construction.
+  std::size_t num_sites() const { return site_n_.size(); }
+  std::size_t num_candidates() const { return cc_level_.size(); }
+  double compute_cycles() const { return compute_cycles_; }
+
+  /// n * access_energy / n * access_latency of `site` if served by `layer`.
+  double site_energy_term(std::size_t site, int layer) const {
+    return site_energy_[site * static_cast<std::size_t>(num_layers_) +
+                        static_cast<std::size_t>(layer)];
+  }
+  double site_cycle_term(std::size_t site, int layer) const {
+    return site_cycles_[site * static_cast<std::size_t>(num_layers_) +
+                        static_cast<std::size_t>(layer)];
+  }
+
+  /// Candidate ids covering `site`, deepest (highest level) first.
+  const std::vector<int>& covering(std::size_t site) const { return covering_[site]; }
+
+  /// Energy / blocking-cycle contribution of selecting `cc_id` with parent
+  /// store `src` and own layer `dst` (fill + write-back as applicable).
+  double cc_energy_term(int cc_id, int src, int dst) const;
+  double cc_cycle_term(int cc_id, int src, int dst) const;
+
+  /// Pinned fill/flush (energy, cycles) totals for the current array homes.
+  std::pair<double, double> pinned_totals() const;
+
+ private:
+  struct UndoRec {
+    enum class Kind { Serving, CopyPush, CopyErase, Home };
+    Kind kind;
+    int a = 0;  ///< Serving: site     CopyPush/CopyErase: cc_id  Home: array idx
+    int b = 0;  ///< Serving: old cc   CopyErase: layer           Home: old layer
+    int c = 0;  ///< CopyErase: index in copies
+  };
+
+  std::size_t table_index(int cc_id, int src, int dst) const {
+    return (static_cast<std::size_t>(cc_id) * static_cast<std::size_t>(num_layers_) +
+            static_cast<std::size_t>(src)) *
+               static_cast<std::size_t>(num_layers_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  void set_serving(std::size_t site, int cc_id);
+  void validate_copy(int cc_id, int layer) const;
+  std::size_t array_index(const std::string& name) const;
+
+  const AssignContext& ctx_;
+  int num_layers_ = 0;
+  int background_ = 0;
+
+  // ---- assignment-independent precomputation
+  double compute_cycles_ = 0.0;
+  std::vector<i64> site_n_;            ///< dynamic accesses per site
+  std::vector<bool> site_write_;
+  std::vector<std::size_t> site_array_;  ///< site -> array index
+  std::vector<double> site_energy_;    ///< [site][layer]
+  std::vector<double> site_cycles_;    ///< [site][layer]
+  std::vector<std::vector<int>> covering_;   ///< site -> cc ids, level desc
+  std::vector<int> cc_level_;
+  std::vector<bool> cc_fill_free_;
+  std::vector<bool> cc_write_back_;
+  std::vector<i64> cc_elems_moved_;
+  std::vector<std::vector<int>> cc_sites_;     ///< cc -> member site ids
+  std::vector<std::vector<int>> cc_ancestors_; ///< cc -> ancestor ids, level desc
+  std::vector<std::size_t> cc_array_;          ///< cc -> array index
+  std::vector<double> fill_energy_;    ///< [cc][src][dst]
+  std::vector<double> wb_energy_;      ///< [cc][src][dst]
+  std::vector<double> xfer_cycles_;    ///< [cc][src][dst] (per direction)
+  std::vector<std::string> array_names_;          ///< array index -> name
+  std::map<std::string, std::size_t> array_index_;
+  std::vector<bool> array_input_;
+  std::vector<bool> array_output_;
+  std::vector<i64> array_elems_;
+  std::vector<double> pin_fill_energy_;   ///< [array][home]
+  std::vector<double> pin_fill_cycles_;   ///< [array][home]
+  std::vector<double> pin_flush_energy_;  ///< [array][home]
+  std::vector<double> pin_flush_cycles_;  ///< [array][home]
+
+  // ---- incremental state
+  Assignment assignment_;
+  std::vector<int> copy_layer_;   ///< cc -> layer or -1
+  std::vector<int> serving_cc_;   ///< site -> deepest selected covering cc or -1
+  std::vector<int> home_;         ///< array index -> home layer
+  std::vector<UndoRec> undo_;
+};
+
+}  // namespace mhla::assign

@@ -1,11 +1,17 @@
 #include "assign/exhaustive.h"
 
+#include <limits>
 #include <stdexcept>
+
+#include "assign/cost_engine.h"
 
 namespace mhla::assign {
 
 namespace {
 
+/// Reference enumeration: from-scratch estimate_cost per state, no pruning
+/// beyond per-placement capacity.  Kept as the oracle the engine path is
+/// equivalence-tested against.
 struct SearchState {
   const AssignContext& ctx;
   const ExhaustiveOptions& options;
@@ -60,6 +66,7 @@ struct SearchState {
       return;
     }
     const ir::ArrayDecl& array = arrays[index];
+    int entry = assignment.layer_of(array.name, ctx.hierarchy.background());
     int last = options.allow_array_migration ? ctx.hierarchy.num_layers() - 1 : 0;
     for (int offset = 0; offset <= last; ++offset) {
       // Enumerate background first so small instances find the canonical
@@ -71,21 +78,13 @@ struct SearchState {
       assignment.array_layer[array.name] = layer;
       recurse_arrays(assignment, index + 1);
     }
-    assignment.array_layer[array.name] = ctx.hierarchy.background();
+    // Restore the entry value, not the background: the caller's scratch may
+    // legitimately hold a non-background home for this array.
+    assignment.array_layer[array.name] = entry;
   }
 };
 
-}  // namespace
-
-ExhaustiveResult exhaustive_assign(const AssignContext& ctx, const ExhaustiveOptions& options) {
-  std::size_t placements = ctx.reuse.candidates().size() *
-                           static_cast<std::size_t>(std::max(ctx.hierarchy.background(), 1));
-  if (placements > 24) {
-    throw std::invalid_argument(
-        "exhaustive_assign: instance too large (" + std::to_string(placements) +
-        " candidate placements); use greedy_assign");
-  }
-
+ExhaustiveResult exhaustive_reference(const AssignContext& ctx, const ExhaustiveOptions& options) {
   SearchState state{ctx, options, make_objective(ctx, options.energy_weight, options.time_weight),
                     out_of_box(ctx), 0.0, 0, false};
   state.best_scalar = state.objective.scalar(estimate_cost(ctx, state.best));
@@ -99,6 +98,269 @@ ExhaustiveResult exhaustive_assign(const AssignContext& ctx, const ExhaustiveOpt
   result.states_explored = state.states;
   result.exhausted_budget = state.budget_hit;
   return result;
+}
+
+/// Engine-backed branch-and-bound.  Same DFS order as the reference, so the
+/// first strictly-improving state is found identically; pruning discards
+/// only subtrees whose admissible lower bound shows they cannot *strictly*
+/// beat the incumbent, and placements whose cumulative (layer, nest)
+/// footprint already overflows a bounded layer (copy selection only ever
+/// adds footprint, so no completion of such a branch is feasible).
+struct EngineSearch {
+  const AssignContext& ctx;
+  const ExhaustiveOptions& options;
+  CostEngine engine;
+  Objective objective;
+  Assignment best;
+  double best_scalar = 0.0;
+  long states = 0;
+  bool budget_hit = false;
+  long bound_prunes = 0;
+  long capacity_prunes = 0;
+  bool bnb = true;            ///< pruning on; off = state-exact mirror of the reference
+  int overfull_cells = 0;     ///< mirror mode: overflowing (layer, nest) cells on the path
+  bool base_infeasible_ = false;  ///< mirror mode: array homes alone overflow a layer
+
+  /// Running lower bound, split into an exact part (terms whose final value
+  /// is already fixed) and an optimistic part (admissible minima for the
+  /// still-open decisions).  Passed by value down the DFS so backtracking
+  /// restores it exactly.
+  struct Bound {
+    double exact_e = 0.0;
+    double exact_c = 0.0;
+    double opt_e = 0.0;
+    double opt_c = 0.0;
+  };
+
+  // -- static bound tables (per context) --
+  std::vector<std::vector<int>> final_at_;  ///< [j] -> sites decided entering step j
+  std::vector<double> site_opt_e_;  ///< per site: min on-chip covering-cc term (+inf if none)
+  std::vector<double> site_opt_c_;
+  std::vector<double> cc_lb_e_;  ///< [cc * L + dst]: min over src > dst
+  std::vector<double> cc_lb_c_;
+  // -- per copy phase --
+  std::vector<double> site_lb_e_;  ///< min(home term, site_opt)
+  std::vector<double> site_lb_c_;
+  std::vector<std::vector<i64>> usage_;  ///< [layer][nest] running footprint
+
+  EngineSearch(const AssignContext& c, const ExhaustiveOptions& o)
+      : ctx(c),
+        options(o),
+        engine(c),
+        objective(make_objective(c, o.energy_weight, o.time_weight)),
+        bnb(o.use_branch_and_bound) {
+    best_scalar = engine.scalar(objective);
+    best = engine.assignment();
+    if (bnb) precompute_bounds();
+  }
+
+  void precompute_bounds() {
+    const double inf = std::numeric_limits<double>::infinity();
+    const auto& candidates = ctx.reuse.candidates();
+    const std::size_t S = engine.num_sites();
+    const std::size_t C = candidates.size();
+    const int L = ctx.hierarchy.num_layers();
+    const int background = ctx.hierarchy.background();
+
+    final_at_.assign(C + 1, {});
+    site_opt_e_.assign(S, inf);
+    site_opt_c_.assign(S, inf);
+    for (std::size_t s = 0; s < S; ++s) {
+      int last_cc = -1;
+      for (int cc_id : engine.covering(s)) {
+        last_cc = std::max(last_cc, cc_id);
+        const analysis::CopyCandidate& cc = candidates[static_cast<std::size_t>(cc_id)];
+        for (int layer = 0; layer < background; ++layer) {
+          const mem::MemLayer& target = ctx.hierarchy.layer(layer);
+          if (!target.unbounded() && cc.bytes > target.capacity_bytes) continue;
+          site_opt_e_[s] = std::min(site_opt_e_[s], engine.site_energy_term(s, layer));
+          site_opt_c_[s] = std::min(site_opt_c_[s], engine.site_cycle_term(s, layer));
+        }
+      }
+      final_at_[static_cast<std::size_t>(last_cc + 1)].push_back(static_cast<int>(s));
+    }
+
+    cc_lb_e_.assign(C * static_cast<std::size_t>(L), 0.0);
+    cc_lb_c_.assign(C * static_cast<std::size_t>(L), 0.0);
+    for (std::size_t c = 0; c < C; ++c) {
+      for (int dst = 0; dst < background; ++dst) {
+        double lb_e = inf;
+        double lb_c = inf;
+        // Layering-valid states have src > dst; invalid leaves are rejected,
+        // so bounding over valid parents only is admissible.
+        for (int src = dst + 1; src < L; ++src) {
+          lb_e = std::min(lb_e, engine.cc_energy_term(static_cast<int>(c), src, dst));
+          lb_c = std::min(lb_c, engine.cc_cycle_term(static_cast<int>(c), src, dst));
+        }
+        cc_lb_e_[c * static_cast<std::size_t>(L) + static_cast<std::size_t>(dst)] = lb_e;
+        cc_lb_c_[c * static_cast<std::size_t>(L) + static_cast<std::size_t>(dst)] = lb_c;
+      }
+    }
+  }
+
+  /// Admissible scalar lower bound for every completion of the current node.
+  /// The tiny relative margin absorbs floating-point drift in the running
+  /// sums so pruning never discards a state that could strictly improve.
+  bool prune(const Bound& bound) {
+    double lb = objective.scalar_terms(bound.exact_e + bound.opt_e, bound.exact_c + bound.opt_c);
+    if (lb * (1.0 - 1e-9) >= best_scalar) {
+      ++bound_prunes;
+      return true;
+    }
+    return false;
+  }
+
+  void evaluate_leaf() {
+    if (budget_hit) return;
+    if (++states > options.max_states) {
+      budget_hit = true;
+      return;
+    }
+    // With pruning on, feasibility holds by construction: every placement on
+    // the path passed the incremental (layer, nest) footprint check.  The
+    // mirror mode visits infeasible states like the reference does and
+    // rejects them here — the running footprint makes the check O(1).
+    if (base_infeasible_ || overfull_cells > 0) return;
+    if (!engine.layering_valid()) return;
+    double scalar = engine.scalar(objective);
+    if (scalar < best_scalar) {
+      best_scalar = scalar;
+      best = engine.assignment();
+    }
+  }
+
+  void recurse_copies(std::size_t j, Bound bound) {
+    if (budget_hit) return;
+    if (bnb) {
+      // Sites whose last covering candidate is now decided move from the
+      // optimistic to the exact part of the bound.
+      for (int site : final_at_[j]) {
+        std::size_t s = static_cast<std::size_t>(site);
+        bound.opt_e -= site_lb_e_[s];
+        bound.opt_c -= site_lb_c_[s];
+        int layer = engine.serving_layer(s);
+        bound.exact_e += engine.site_energy_term(s, layer);
+        bound.exact_c += engine.site_cycle_term(s, layer);
+      }
+      if (prune(bound)) return;
+    }
+
+    const auto& candidates = ctx.reuse.candidates();
+    if (j == candidates.size()) {
+      evaluate_leaf();
+      return;
+    }
+    // Option A: skip this candidate.
+    recurse_copies(j + 1, bound);
+    // Option B: place it on every on-chip layer it fits individually; the
+    // cumulative (lifetime-aware) footprint of its nest either prunes the
+    // branch (bnb) or marks it infeasible while mirroring the reference DFS.
+    const analysis::CopyCandidate& cc = candidates[j];
+    for (int layer = 0; layer < ctx.hierarchy.background(); ++layer) {
+      const mem::MemLayer& target = ctx.hierarchy.layer(layer);
+      if (!target.unbounded() && cc.bytes > target.capacity_bytes) continue;
+      i64& cell = usage_[static_cast<std::size_t>(layer)][static_cast<std::size_t>(cc.nest)];
+      bool overflows = !target.unbounded() && cell + cc.bytes > target.capacity_bytes;
+      if (overflows && bnb) {
+        ++capacity_prunes;
+        continue;
+      }
+      cell += cc.bytes;
+      if (overflows) ++overfull_cells;
+      CostEngine::Checkpoint cp = engine.checkpoint();
+      engine.select_copy(cc.id, layer);
+      Bound child = bound;
+      if (bnb) {
+        child.opt_e += cc_lb_e_[j * static_cast<std::size_t>(ctx.hierarchy.num_layers()) +
+                                static_cast<std::size_t>(layer)];
+        child.opt_c += cc_lb_c_[j * static_cast<std::size_t>(ctx.hierarchy.num_layers()) +
+                                static_cast<std::size_t>(layer)];
+      }
+      recurse_copies(j + 1, child);
+      engine.undo_to(cp);
+      if (overflows) --overfull_cells;
+      cell -= cc.bytes;
+    }
+  }
+
+  void enter_copy_phase() {
+    // Array homes are fixed from here on: the pinned traffic and the
+    // array-only footprint are exact.
+    FootprintReport base = compute_footprints(ctx, engine.assignment());
+    if (!base.feasible && bnb) return;  // no copy subset can shrink an array overflow
+    base_infeasible_ = !base.feasible;
+    usage_ = std::move(base.usage);
+
+    Bound bound;
+    if (bnb) {
+      auto [pin_e, pin_c] = engine.pinned_totals();
+      bound.exact_e = pin_e;
+      bound.exact_c = engine.compute_cycles() + pin_c;
+
+      const std::size_t S = engine.num_sites();
+      site_lb_e_.assign(S, 0.0);
+      site_lb_c_.assign(S, 0.0);
+      for (std::size_t s = 0; s < S; ++s) {
+        // No copies are selected yet, so serving_layer == the array's home.
+        int home = engine.serving_layer(s);
+        site_lb_e_[s] = std::min(engine.site_energy_term(s, home), site_opt_e_[s]);
+        site_lb_c_[s] = std::min(engine.site_cycle_term(s, home), site_opt_c_[s]);
+        bound.opt_e += site_lb_e_[s];
+        bound.opt_c += site_lb_c_[s];
+      }
+    }
+    recurse_copies(0, bound);
+  }
+
+  void recurse_arrays(std::size_t index) {
+    if (budget_hit) return;
+    const auto& arrays = ctx.program.arrays();
+    if (index == arrays.size()) {
+      enter_copy_phase();
+      return;
+    }
+    const ir::ArrayDecl& array = arrays[index];
+    int last = options.allow_array_migration ? ctx.hierarchy.num_layers() - 1 : 0;
+    for (int offset = 0; offset <= last; ++offset) {
+      int layer = (ctx.hierarchy.background() + ctx.hierarchy.num_layers() - offset) %
+                  ctx.hierarchy.num_layers();
+      const mem::MemLayer& target = ctx.hierarchy.layer(layer);
+      if (!target.unbounded() && array.bytes() > target.capacity_bytes) continue;
+      CostEngine::Checkpoint cp = engine.checkpoint();
+      engine.set_home(array.name, layer);
+      recurse_arrays(index + 1);
+      engine.undo_to(cp);
+    }
+  }
+};
+
+ExhaustiveResult exhaustive_engine(const AssignContext& ctx, const ExhaustiveOptions& options) {
+  EngineSearch search(ctx, options);
+  search.recurse_arrays(0);
+
+  ExhaustiveResult result;
+  result.assignment = std::move(search.best);
+  result.scalar = search.best_scalar;
+  result.states_explored = search.states;
+  result.exhausted_budget = search.budget_hit;
+  result.bound_prunes = search.bound_prunes;
+  result.capacity_prunes = search.capacity_prunes;
+  return result;
+}
+
+}  // namespace
+
+ExhaustiveResult exhaustive_assign(const AssignContext& ctx, const ExhaustiveOptions& options) {
+  std::size_t placements = ctx.reuse.candidates().size() *
+                           static_cast<std::size_t>(std::max(ctx.hierarchy.background(), 1));
+  std::size_t guard = options.use_cost_engine ? kEnginePlacementGuard : kReferencePlacementGuard;
+  if (placements > guard) {
+    throw std::invalid_argument(
+        "exhaustive_assign: instance too large (" + std::to_string(placements) +
+        " candidate placements, guard " + std::to_string(guard) + "); use greedy_assign");
+  }
+  return options.use_cost_engine ? exhaustive_engine(ctx, options)
+                                 : exhaustive_reference(ctx, options);
 }
 
 }  // namespace mhla::assign

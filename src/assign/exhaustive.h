@@ -6,26 +6,48 @@
 namespace mhla::assign {
 
 /// Options for the exhaustive (oracle) search.  Only usable on small inputs;
-/// the search space is pruned by capacity and by a hard state budget.
+/// the search space is pruned by capacity, by an admissible branch-and-bound
+/// lower bound (engine path), and by a hard state budget.
 struct ExhaustiveOptions {
   double energy_weight = 1.0;
   double time_weight = 1.0;
-  long max_states = 2'000'000;       ///< hard bound on explored states
+  long max_states = 2'000'000;       ///< hard bound on evaluated states
   bool allow_array_migration = true;
+
+  /// Search with the incremental CostEngine plus branch-and-bound pruning.
+  /// Produces the same best assignment and scalar as the reference
+  /// enumeration (pruning only discards states that cannot strictly beat
+  /// the incumbent), explores far fewer states, and accepts instances up
+  /// to `kEnginePlacementGuard` instead of `kReferencePlacementGuard`.
+  bool use_cost_engine = true;
+
+  /// Engine path only: disable the lower-bound and cumulative-capacity
+  /// pruning so the DFS mirrors the reference enumeration state for state
+  /// (same states_explored, same budget behavior).  Used to measure pure
+  /// per-state evaluation throughput and by the equivalence tests.
+  bool use_branch_and_bound = true;
 };
+
+/// Instance-size guards: candidate placements (candidates x on-chip layers)
+/// above the guard throw std::invalid_argument.  Branch-and-bound raises the
+/// exact-solvable ceiling well beyond the reference enumeration's.
+inline constexpr std::size_t kReferencePlacementGuard = 24;
+inline constexpr std::size_t kEnginePlacementGuard = 64;
 
 struct ExhaustiveResult {
   Assignment assignment;
   double scalar = 0.0;
-  long states_explored = 0;
+  long states_explored = 0;       ///< evaluated leaf states
   bool exhausted_budget = false;  ///< true if the state budget was hit
+  long bound_prunes = 0;     ///< subtrees cut by the lower bound (engine path)
+  long capacity_prunes = 0;  ///< placements cut by cumulative capacity (engine path)
 };
 
 /// Enumerate every feasible (assignment of arrays to layers) x (subset of
 /// copy candidates with a layer each) configuration and return the best
 /// under the scalarized objective.  Intended as a test oracle for the greedy
-/// heuristic and for the tool-runtime benchmark; throws std::invalid_argument
-/// if the instance is clearly too large (> 24 candidate placements).
+/// heuristic and for the search benchmarks; throws std::invalid_argument
+/// if the instance exceeds the placement guard of the selected path.
 ExhaustiveResult exhaustive_assign(const AssignContext& ctx, const ExhaustiveOptions& options = {});
 
 }  // namespace mhla::assign

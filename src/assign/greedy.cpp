@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <optional>
 
+#include "assign/cost_engine.h"
+
 namespace mhla::assign {
 
 namespace {
 
-/// A candidate move with its evaluation.
+/// A candidate move with its evaluation (reference path only; the engine
+/// path re-applies the winning move instead of storing a full assignment).
 struct ScoredMove {
   GreedyMove move;
   Assignment next;
@@ -27,9 +30,10 @@ i64 claimed_bytes(const AssignContext& ctx, const GreedyMove& move) {
   return 1;
 }
 
-}  // namespace
-
-GreedyResult greedy_assign(const AssignContext& ctx, const GreedyOptions& options) {
+/// Reference implementation: every candidate move is scored by a fresh
+/// estimate_cost over a copied assignment.  Kept as the from-scratch oracle
+/// the engine path is property-tested against.
+GreedyResult greedy_assign_reference(const AssignContext& ctx, const GreedyOptions& options) {
   GreedyResult result;
   result.assignment = out_of_box(ctx);
 
@@ -122,6 +126,122 @@ GreedyResult greedy_assign(const AssignContext& ctx, const GreedyOptions& option
 
   result.final_scalar = current_scalar;
   return result;
+}
+
+/// Engine path: identical move enumeration, scoring and tie-breaking, but
+/// every candidate is applied to the engine, scored from cached terms, and
+/// undone — no per-candidate assignment copy, no per-candidate resolve.
+GreedyResult greedy_assign_engine(const AssignContext& ctx, const GreedyOptions& options) {
+  GreedyResult result;
+
+  CostEngine engine(ctx);  // loads out_of_box
+  Objective objective = make_objective(ctx, options.energy_weight, options.time_weight);
+  double current_scalar = engine.scalar(objective);
+  result.evaluations = 1;
+
+  int background = ctx.hierarchy.background();
+
+  for (int accepted = 0; accepted < options.max_moves; ++accepted) {
+    std::optional<GreedyMove> best;
+    double best_per_byte = 0.0;
+
+    // The candidate move is already applied to the engine when this runs;
+    // it inspects the engine state and is followed by an undo.
+    auto consider = [&](GreedyMove move) {
+      if (!fits(ctx, engine.assignment())) return;
+      if (move.kind == GreedyMove::Kind::SelectCopy && !engine.layering_valid()) return;
+      double scalar = engine.scalar(objective);
+      ++result.evaluations;
+      double gain = current_scalar - scalar;
+      if (gain <= 1e-12) return;
+      double per_byte = gain / static_cast<double>(std::max<i64>(claimed_bytes(ctx, move), 1));
+      move.gain = gain;
+      move.gain_per_byte = per_byte;
+      if (!best || per_byte > best_per_byte) {
+        best_per_byte = per_byte;
+        best = std::move(move);
+      }
+    };
+
+    // Move type 1: select an unselected copy candidate onto an on-chip layer.
+    for (const analysis::CopyCandidate& cc : ctx.reuse.candidates()) {
+      if (engine.has_copy(cc.id)) continue;
+      if (cc.elems <= 0) continue;
+      for (int layer = 0; layer < background; ++layer) {
+        const mem::MemLayer& target = ctx.hierarchy.layer(layer);
+        if (!target.unbounded() && cc.bytes > target.capacity_bytes) continue;
+        CostEngine::Checkpoint cp = engine.checkpoint();
+        engine.select_copy(cc.id, layer);
+        GreedyMove move;
+        move.kind = GreedyMove::Kind::SelectCopy;
+        move.cc_id = cc.id;
+        move.layer = layer;
+        consider(std::move(move));
+        engine.undo_to(cp);
+      }
+    }
+
+    // Move type 2: migrate an array's home layer (drops invalidated copies
+    // as part of the compound move, all rewound by one checkpoint).
+    if (options.allow_array_migration) {
+      for (const ir::ArrayDecl& array : ctx.program.arrays()) {
+        int home = engine.assignment().layer_of(array.name, background);
+        for (int layer = 0; layer < ctx.hierarchy.num_layers(); ++layer) {
+          if (layer == home) continue;
+          const mem::MemLayer& target = ctx.hierarchy.layer(layer);
+          if (!target.unbounded() && array.bytes() > target.capacity_bytes) continue;
+          CostEngine::Checkpoint cp = engine.checkpoint();
+          engine.migrate_array(array.name, layer);
+          GreedyMove move;
+          move.kind = GreedyMove::Kind::MigrateArray;
+          move.array = array.name;
+          move.layer = layer;
+          consider(std::move(move));
+          engine.undo_to(cp);
+        }
+      }
+    }
+
+    // Move type 3: deselect a copy.  Indexed loop: apply/undo restores the
+    // copies vector exactly, so positions stay stable across iterations.
+    for (std::size_t i = 0; i < engine.assignment().copies.size(); ++i) {
+      PlacedCopy pc = engine.assignment().copies[i];
+      CostEngine::Checkpoint cp = engine.checkpoint();
+      engine.remove_copy(pc.cc_id);
+      GreedyMove move;
+      move.kind = GreedyMove::Kind::RemoveCopy;
+      move.cc_id = pc.cc_id;
+      move.layer = pc.layer;
+      consider(std::move(move));
+      engine.undo_to(cp);
+    }
+
+    if (!best) break;
+    switch (best->kind) {
+      case GreedyMove::Kind::SelectCopy:
+        engine.select_copy(best->cc_id, best->layer);
+        break;
+      case GreedyMove::Kind::MigrateArray:
+        engine.migrate_array(best->array, best->layer);
+        break;
+      case GreedyMove::Kind::RemoveCopy:
+        engine.remove_copy(best->cc_id);
+        break;
+    }
+    current_scalar -= best->gain;
+    result.moves.push_back(std::move(*best));
+  }
+
+  result.assignment = engine.assignment();
+  result.final_scalar = current_scalar;
+  return result;
+}
+
+}  // namespace
+
+GreedyResult greedy_assign(const AssignContext& ctx, const GreedyOptions& options) {
+  return options.use_cost_engine ? greedy_assign_engine(ctx, options)
+                                 : greedy_assign_reference(ctx, options);
 }
 
 }  // namespace mhla::assign

@@ -11,6 +11,12 @@ struct GreedyOptions {
   double time_weight = 1.0;    ///< relative weight of normalized time
   int max_moves = 100000;      ///< safety bound on accepted moves
   bool allow_array_migration = true;  ///< consider moving whole arrays on-chip
+
+  /// Score candidate moves with the incremental CostEngine (apply/undo
+  /// deltas) instead of a from-scratch estimate_cost per candidate.  Both
+  /// paths are bit-identical in every decision and result; the reference
+  /// path exists for the equivalence tests and the search_scaling bench.
+  bool use_cost_engine = true;
 };
 
 /// Trace entry for one accepted move, for diagnostics and the tool-runtime

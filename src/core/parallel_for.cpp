@@ -1,0 +1,56 @@
+#include "core/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mhla::core {
+
+unsigned default_parallelism() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_for(std::size_t count, unsigned num_threads,
+                  const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (num_threads == 0) num_threads = default_parallelism();
+  num_threads = static_cast<unsigned>(
+      std::min<std::size_t>(num_threads, count));
+
+  if (num_threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::atomic<bool> failed{false};
+
+  auto worker = [&]() {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count || failed.load(std::memory_order_relaxed)) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (std::thread& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace mhla::core

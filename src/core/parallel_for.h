@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mhla::core {
+
+/// Number of worker threads `parallel_for` uses when the caller passes 0:
+/// the hardware concurrency, with a floor of 1.
+unsigned default_parallelism();
+
+/// Run `body(i)` for every i in [0, count) on a small pool of std::thread
+/// workers pulling indices from a shared atomic counter.
+///
+///  * `num_threads == 0` picks `default_parallelism()`; a single worker (or
+///    `count <= 1`) degenerates to a plain serial loop on the calling thread.
+///  * Each index is executed exactly once; workers share nothing else, so a
+///    body that only writes to its own index's slot is deterministic for any
+///    thread count.
+///  * The first exception thrown by any body is rethrown on the calling
+///    thread after all workers have joined; remaining indices may be skipped.
+void parallel_for(std::size_t count, unsigned num_threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace mhla::core

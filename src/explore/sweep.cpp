@@ -1,5 +1,9 @@
 #include "explore/sweep.h"
 
+#include <utility>
+
+#include "core/parallel_for.h"
+
 namespace mhla::xplore {
 
 SweepConfig default_sweep() {
@@ -10,44 +14,51 @@ SweepConfig default_sweep() {
 }
 
 std::vector<SweepSample> sweep_layer_sizes(const ir::Program& program, const SweepConfig& config) {
-  std::vector<SweepSample> samples;
-
-  // Program-level analyses are hierarchy independent; run them once.
+  // Program-level analyses are hierarchy independent; run them once and
+  // share them read-only across the worker pool.
   std::vector<analysis::AccessSite> sites = analysis::collect_sites(program);
   analysis::ReuseAnalysis reuse = analysis::ReuseAnalysis::run(program, sites);
   std::map<std::string, analysis::LiveRange> live = analysis::array_live_ranges(program, sites);
   analysis::DependenceInfo deps = analysis::DependenceInfo::run(program, sites);
 
+  // Flatten the grid in the canonical (L2 outer, L1 inner) order; each cell
+  // writes only its own slot, so the result is identical for any thread
+  // count.
+  std::vector<std::pair<i64, i64>> grid;  // (l2, l1)
+  grid.reserve(config.l2_sizes.size() * config.l1_sizes.size());
   for (i64 l2 : config.l2_sizes) {
-    for (i64 l1 : config.l1_sizes) {
-      mem::PlatformConfig platform;
-      platform.l1_bytes = l1;
-      platform.l2_bytes = l2;
-      platform.sram = config.sram;
-      platform.sdram = config.sdram;
-      mem::Hierarchy hierarchy = mem::make_hierarchy(platform);
-
-      assign::AssignContext ctx{program, sites, reuse, live, deps, hierarchy, config.dma};
-      assign::Step1Options step1;
-      step1.target = config.target;
-      assign::GreedyResult greedy = assign::mhla_step1(ctx, step1);
-
-      sim::SimOptions sim_options;
-      sim_options.mode = config.with_te && config.dma.present
-                             ? te::TransferMode::TimeExtended
-                             : te::TransferMode::Blocking;
-      sim::SimResult result = sim::simulate(ctx, greedy.assignment, sim_options);
-
-      SweepSample sample;
-      sample.point.l1_bytes = l1;
-      sample.point.l2_bytes = l2;
-      sample.point.cycles = result.total_cycles();
-      sample.point.energy_nj = result.energy_nj;
-      sample.assignment = std::move(greedy.assignment);
-      sample.te_applied = sim_options.mode == te::TransferMode::TimeExtended;
-      samples.push_back(std::move(sample));
-    }
+    for (i64 l1 : config.l1_sizes) grid.emplace_back(l2, l1);
   }
+
+  std::vector<SweepSample> samples(grid.size());
+  core::parallel_for(grid.size(), config.num_threads, [&](std::size_t i) {
+    auto [l2, l1] = grid[i];
+    mem::PlatformConfig platform;
+    platform.l1_bytes = l1;
+    platform.l2_bytes = l2;
+    platform.sram = config.sram;
+    platform.sdram = config.sdram;
+    mem::Hierarchy hierarchy = mem::make_hierarchy(platform);
+
+    assign::AssignContext ctx{program, sites, reuse, live, deps, hierarchy, config.dma};
+    assign::Step1Options step1;
+    step1.target = config.target;
+    assign::GreedyResult greedy = assign::mhla_step1(ctx, step1);
+
+    sim::SimOptions sim_options;
+    sim_options.mode = config.with_te && config.dma.present
+                           ? te::TransferMode::TimeExtended
+                           : te::TransferMode::Blocking;
+    sim::SimResult result = sim::simulate(ctx, greedy.assignment, sim_options);
+
+    SweepSample& sample = samples[i];
+    sample.point.l1_bytes = l1;
+    sample.point.l2_bytes = l2;
+    sample.point.cycles = result.total_cycles();
+    sample.point.energy_nj = result.energy_nj;
+    sample.assignment = std::move(greedy.assignment);
+    sample.te_applied = sim_options.mode == te::TransferMode::TimeExtended;
+  });
   return samples;
 }
 

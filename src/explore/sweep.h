@@ -23,6 +23,12 @@ struct SweepConfig {
   mem::SramModelParams sram;
   mem::SdramModelParams sdram;
   mem::DmaEngine dma;
+
+  /// Worker threads for the grid evaluation: 0 picks the hardware
+  /// concurrency, 1 forces the serial path.  Every thread count produces
+  /// the identical sample vector (each grid cell is independent and writes
+  /// only its own slot).
+  unsigned num_threads = 0;
 };
 
 /// Default sweep grid used by the trade-off benchmark:
@@ -30,8 +36,10 @@ struct SweepConfig {
 SweepConfig default_sweep();
 
 /// Run MHLA (and optionally TE) for every (L1, L2) combination of the grid
-/// and return every sample.  The program is analyzed once per hierarchy
-/// because energy/latency models depend on the layer sizes.
+/// and return every sample.  Program-level analyses run once and are shared
+/// read-only; each grid cell builds its own hierarchy/context and is
+/// evaluated on a worker pool (`config.num_threads`), in a deterministic
+/// order independent of the thread count.
 std::vector<SweepSample> sweep_layer_sizes(const ir::Program& program, const SweepConfig& config);
 
 /// Pareto frontier of a sample set.

@@ -81,7 +81,7 @@ ExactCounts enumerate_program(const ir::Program& program, i64 max_instances) {
   return enumerator.counts;
 }
 
-i64 exact_footprint_elems(const ir::Program& program, const analysis::AccessSite& site,
+i64 exact_footprint_elems(const ir::Program& /*program*/, const analysis::AccessSite& site,
                           std::size_t fixed) {
   fixed = std::min(fixed, site.path.size());
 

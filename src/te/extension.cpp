@@ -49,7 +49,10 @@ TeResult time_extend(const assign::AssignContext& ctx, const assign::Assignment&
   }
   if (!ctx.dma.present) return result;  // TE not applicable without an engine
 
-  std::vector<double> nest_cycles = assign::nest_cpu_cycles(ctx, assignment);
+  // The assignment is fixed for the whole pass: resolve once and share the
+  // resolution across the per-nest and per-BT lookahead queries below.
+  assign::Resolution res = assign::resolve(ctx, assignment);
+  std::vector<double> nest_cycles = assign::nest_cpu_cycles(ctx, res);
 
   for (std::size_t index : order_indices(bts, options.order)) {
     const BlockTransfer& bt = bts[index];
@@ -67,7 +70,7 @@ TeResult time_extend(const assign::AssignContext& ctx, const assign::Assignment&
       // iteration i+k during iteration i; each step costs one extra buffer
       // and hides one more carrying-iteration of CPU time per issue.
       double per_iter =
-          assign::loop_iteration_cpu_cycles(ctx, assignment, bt.nest, cc.carrying_loop());
+          assign::loop_iteration_cpu_cycles(ctx, res, bt.nest, cc.carrying_loop());
       for (int k = 1; k <= options.max_lookahead; ++k) {
         FreedomUnit unit;
         unit.hideable_cycles = per_iter;

@@ -59,6 +59,30 @@ TEST(Sweep, NoDmaDisablesTe) {
   EXPECT_FALSE(samples[0].te_applied);
 }
 
+TEST(Sweep, ParallelSweepIsDeterministicForAnyThreadCount) {
+  SweepConfig config;
+  config.l1_sizes = {256, 1024, 4096};
+  config.l2_sizes = {0, 8192};
+
+  config.num_threads = 1;
+  auto serial = sweep_layer_sizes(testing::blocked_reuse_program(), config);
+  ASSERT_EQ(serial.size(), 6u);
+
+  for (unsigned threads : {0u, 2u, 3u, 8u}) {
+    config.num_threads = threads;
+    auto parallel = sweep_layer_sizes(testing::blocked_reuse_program(), config);
+    ASSERT_EQ(parallel.size(), serial.size()) << "threads " << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].point.l1_bytes, serial[i].point.l1_bytes);
+      EXPECT_EQ(parallel[i].point.l2_bytes, serial[i].point.l2_bytes);
+      EXPECT_EQ(parallel[i].point.cycles, serial[i].point.cycles);
+      EXPECT_EQ(parallel[i].point.energy_nj, serial[i].point.energy_nj);
+      EXPECT_EQ(parallel[i].assignment, serial[i].assignment);
+      EXPECT_EQ(parallel[i].te_applied, serial[i].te_applied);
+    }
+  }
+}
+
 TEST(Sweep, FrontierIsSubsetOfSamples) {
   SweepConfig config;
   config.l1_sizes = {128, 512, 2048, 8192};
