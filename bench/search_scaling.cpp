@@ -14,7 +14,7 @@
 #include <chrono>
 #include <sstream>
 
-#include "assign/exhaustive.h"
+#include "assign/search.h"
 #include "core/json_report.h"
 #include "core/parallel_for.h"
 #include "ir/builder.h"
@@ -74,18 +74,16 @@ void print_scaling_report() {
   for (const apps::AppInfo& info : apps::all_apps()) {
     auto ws = core::make_workspace(info.build(), bench::default_platform(), {});
     auto ctx = ws->context();
-    assign::GreedyOptions reference;
-    reference.use_cost_engine = false;
-    assign::GreedyOptions engine;
+    assign::SearchOptions options;
 
     auto t0 = Clock::now();
-    assign::GreedyResult slow = assign::greedy_assign(ctx, reference);
+    assign::SearchResult slow = assign::searcher("greedy-ref").search(ctx, options);
     double reference_s = seconds_since(t0);
     t0 = Clock::now();
-    assign::GreedyResult fast = assign::greedy_assign(ctx, engine);
+    assign::SearchResult fast = assign::searcher("greedy").search(ctx, options);
     double engine_s = seconds_since(t0);
 
-    if (fast.final_scalar != slow.final_scalar) {
+    if (fast.scalar != slow.scalar) {
       std::cout << "WARNING: engine/reference scalar mismatch on " << info.name << "\n";
     }
     rows.push_back({info.name, reference_s, engine_s, fast.evaluations});
@@ -103,23 +101,19 @@ void print_scaling_report() {
   // raised guard admits.
   auto ws = core::make_workspace(rate_program(), rate_platform(), {});
   auto ctx = ws->context();
-  assign::ExhaustiveOptions reference_options;
-  reference_options.use_cost_engine = false;
-  reference_options.max_states = kRateBudget;
-  assign::ExhaustiveOptions mirror_options;
+  assign::SearchOptions budget_options;
+  budget_options.max_states = kRateBudget;
+  assign::SearchOptions mirror_options = budget_options;
   mirror_options.use_branch_and_bound = false;
-  mirror_options.max_states = kRateBudget;
-  assign::ExhaustiveOptions bnb_options;
-  bnb_options.max_states = kRateBudget;
 
   auto t0 = Clock::now();
-  assign::ExhaustiveResult reference = assign::exhaustive_assign(ctx, reference_options);
+  assign::SearchResult reference = assign::searcher("exhaustive-ref").search(ctx, budget_options);
   double reference_s = seconds_since(t0);
   t0 = Clock::now();
-  assign::ExhaustiveResult mirror = assign::exhaustive_assign(ctx, mirror_options);
+  assign::SearchResult mirror = assign::searcher("exhaustive").search(ctx, mirror_options);
   double mirror_s = seconds_since(t0);
   t0 = Clock::now();
-  assign::ExhaustiveResult pruned = assign::exhaustive_assign(ctx, bnb_options);
+  assign::SearchResult pruned = assign::searcher("bnb").search(ctx, budget_options);
   double engine_s = seconds_since(t0);
 
   double ref_rate = reference.states_explored / (reference_s > 0 ? reference_s : 1e-9);
@@ -140,10 +134,10 @@ void print_scaling_report() {
   auto medium_ws = core::make_workspace(apps::build_motion_estimation(),
                                         bench::default_platform(), {});
   auto medium_ctx = medium_ws->context();
-  assign::ExhaustiveOptions medium_options;
+  assign::SearchOptions medium_options;
   medium_options.max_states = 200000;
   t0 = Clock::now();
-  assign::ExhaustiveResult medium = assign::exhaustive_assign(medium_ctx, medium_options);
+  assign::SearchResult medium = assign::searcher("bnb").search(medium_ctx, medium_options);
   double medium_s = seconds_since(t0);
   std::cout << "branch-and-bound (motion_estimation, 46 placements, budget 200k): "
             << medium.states_explored << " states, " << medium.bound_prunes
@@ -158,11 +152,11 @@ void print_scaling_report() {
   for (const apps::AppInfo& info : apps::all_apps()) {
     ir::Program program = info.build();
     xplore::SweepConfig config = xplore::default_sweep();
-    config.num_threads = 1;
+    config.pipeline.num_threads = 1;
     t0 = Clock::now();
     auto serial = xplore::sweep_layer_sizes(program, config);
     serial_total += seconds_since(t0);
-    config.num_threads = 0;  // hardware concurrency
+    config.pipeline.num_threads = 0;  // hardware concurrency
     t0 = Clock::now();
     auto parallel = xplore::sweep_layer_sizes(program, config);
     parallel_total += seconds_since(t0);
@@ -204,11 +198,9 @@ void BM_GreedyReference(benchmark::State& state) {
   const apps::AppInfo& info = apps::all_apps()[static_cast<std::size_t>(state.range(0))];
   auto ws = core::make_workspace(info.build(), bench::default_platform(), {});
   auto ctx = ws->context();
-  assign::GreedyOptions options;
-  options.use_cost_engine = false;
   int evaluations = 0;
   for (auto _ : state) {
-    assign::GreedyResult result = assign::greedy_assign(ctx, options);
+    assign::SearchResult result = assign::searcher("greedy-ref").search(ctx, {});
     evaluations = result.evaluations;
     benchmark::DoNotOptimize(result);
   }
@@ -225,7 +217,7 @@ void BM_GreedyEngine(benchmark::State& state) {
   auto ctx = ws->context();
   int evaluations = 0;
   for (auto _ : state) {
-    assign::GreedyResult result = assign::greedy_assign(ctx, {});
+    assign::SearchResult result = assign::searcher("greedy").search(ctx, {});
     evaluations = result.evaluations;
     benchmark::DoNotOptimize(result);
   }
@@ -235,12 +227,13 @@ void BM_GreedyEngine(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyEngine)->DenseRange(0, kLastAppIndex);
 
-void run_exhaustive_bench(benchmark::State& state, const assign::ExhaustiveOptions& options) {
+void run_exhaustive_bench(benchmark::State& state, const std::string& strategy,
+                          const assign::SearchOptions& options) {
   auto ws = core::make_workspace(rate_program(), rate_platform(), {});
   auto ctx = ws->context();
   long states = 0;
   for (auto _ : state) {
-    assign::ExhaustiveResult result = assign::exhaustive_assign(ctx, options);
+    assign::SearchResult result = assign::searcher(strategy).search(ctx, options);
     states = result.states_explored;
     benchmark::DoNotOptimize(result);
   }
@@ -249,32 +242,31 @@ void run_exhaustive_bench(benchmark::State& state, const assign::ExhaustiveOptio
 }
 
 void BM_ExhaustiveReference(benchmark::State& state) {
-  assign::ExhaustiveOptions options;
-  options.use_cost_engine = false;
+  assign::SearchOptions options;
   options.max_states = kRateBudget;
-  run_exhaustive_bench(state, options);
+  run_exhaustive_bench(state, "exhaustive-ref", options);
 }
 BENCHMARK(BM_ExhaustiveReference);
 
 void BM_ExhaustiveEngineMirror(benchmark::State& state) {
-  assign::ExhaustiveOptions options;
+  assign::SearchOptions options;
   options.use_branch_and_bound = false;
   options.max_states = kRateBudget;
-  run_exhaustive_bench(state, options);
+  run_exhaustive_bench(state, "exhaustive", options);
 }
 BENCHMARK(BM_ExhaustiveEngineMirror);
 
 void BM_ExhaustiveBranchAndBound(benchmark::State& state) {
-  assign::ExhaustiveOptions options;
+  assign::SearchOptions options;
   options.max_states = kRateBudget;
-  run_exhaustive_bench(state, options);
+  run_exhaustive_bench(state, "bnb", options);
 }
 BENCHMARK(BM_ExhaustiveBranchAndBound);
 
 void BM_SweepSerial(benchmark::State& state) {
   ir::Program program = apps::build_motion_estimation();
   xplore::SweepConfig config = xplore::default_sweep();
-  config.num_threads = 1;
+  config.pipeline.num_threads = 1;
   for (auto _ : state) {
     benchmark::DoNotOptimize(xplore::sweep_layer_sizes(program, config));
   }
@@ -284,7 +276,7 @@ BENCHMARK(BM_SweepSerial);
 void BM_SweepParallel(benchmark::State& state) {
   ir::Program program = apps::build_motion_estimation();
   xplore::SweepConfig config = xplore::default_sweep();
-  config.num_threads = 0;  // hardware concurrency
+  config.pipeline.num_threads = 0;  // hardware concurrency
   for (auto _ : state) {
     benchmark::DoNotOptimize(xplore::sweep_layer_sizes(program, config));
   }

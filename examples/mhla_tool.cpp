@@ -1,6 +1,6 @@
-// The command-line face of the library: run the full MHLA flow on one of
-// the built-in applications or on a program description file (the `.mhla`
-// text format, see ir/serialize.h), on a configurable platform.
+// The command-line face of the library: run the full MHLA pipeline on one
+// of the built-in applications or on a program description file (the
+// `.mhla` text format, see ir/serialize.h), on a configurable platform.
 //
 // Usage:
 //   mhla_tool --app motion_estimation [options]
@@ -8,21 +8,29 @@
 //   mhla_tool --dump-app qsdpcm            # print the .mhla description
 //
 // Options:
+//   --config <file>   load a PipelineConfig JSON document (other flags
+//                     override individual fields, regardless of order)
 //   --l1 <bytes>      L1 scratchpad capacity   (default 4096)
 //   --l2 <bytes>      L2 scratchpad capacity   (default 131072, 0 = none)
 //   --target <t>      energy | time | balanced (default balanced)
+//   --strategy <s>    search strategy registry name (default greedy;
+//                     unknown names list the registry)
+//   --threads <n>     worker threads for --sweep (0 = hardware)
 //   --no-dma          platform without a transfer engine (TE not applicable)
 //   --sweep           run the layer-size trade-off exploration instead
+//   --dump-config     print the effective PipelineConfig JSON and exit
 //   --verbose         also print the program and the chosen assignment
+//   --json            machine-readable result (strategy, timings, points)
 
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 
 #include "apps/registry.h"
-#include "core/driver.h"
 #include "core/json_report.h"
+#include "core/pipeline.h"
 #include "core/report_table.h"
 #include "explore/sweep.h"
 #include "ir/printer.h"
@@ -36,11 +44,9 @@ struct Options {
   std::string app;
   std::string file;
   std::string dump_app;
-  ir::i64 l1 = 4 * 1024;
-  ir::i64 l2 = 128 * 1024;
-  assign::Target target = assign::Target::Balanced;
-  bool no_dma = false;
+  core::PipelineConfig pipeline;
   bool sweep = false;
+  bool dump_config = false;
   bool verbose = false;
   bool json = false;
 };
@@ -48,15 +54,37 @@ struct Options {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " (--app <name> | --file <path.mhla> | --dump-app <name>)\n"
-               "       [--l1 <bytes>] [--l2 <bytes>] [--target energy|time|balanced]\n"
-               "       [--no-dma] [--sweep] [--verbose] [--json]\n\napplications:\n";
+               "       [--config <file.json>] [--l1 <bytes>] [--l2 <bytes>]\n"
+               "       [--target energy|time|balanced] [--strategy <name>] [--threads <n>]\n"
+               "       [--no-dma] [--sweep] [--dump-config] [--verbose] [--json]\n\n"
+               "strategies:\n";
+  for (const std::string& name : assign::searcher_names()) {
+    std::cerr << "  " << name << " — " << assign::searcher(name).description() << "\n";
+  }
+  std::cerr << "\napplications:\n";
   for (const apps::AppInfo& info : apps::all_apps()) {
     std::cerr << "  " << info.name << " — " << info.description << "\n";
   }
   return 2;
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
 bool parse_args(int argc, char** argv, Options& options) {
+  // First pass: load --config, so every other flag overrides individual
+  // fields of the document regardless of argv order (as documented).
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--config") {
+      if (i + 1 >= argc) throw std::invalid_argument("--config needs a value");
+      options.pipeline = core::pipeline_config_from_json(read_file(argv[i + 1]));
+    }
+  }
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> std::string {
@@ -69,25 +97,29 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.file = next();
     } else if (arg == "--dump-app") {
       options.dump_app = next();
+    } else if (arg == "--config") {
+      next();  // loaded in the first pass
     } else if (arg == "--l1") {
-      options.l1 = std::stoll(next());
+      options.pipeline.platform.l1_bytes = std::stoll(next());
     } else if (arg == "--l2") {
-      options.l2 = std::stoll(next());
+      options.pipeline.platform.l2_bytes = std::stoll(next());
     } else if (arg == "--target") {
-      std::string t = next();
-      if (t == "energy") {
-        options.target = assign::Target::Energy;
-      } else if (t == "time") {
-        options.target = assign::Target::Time;
-      } else if (t == "balanced") {
-        options.target = assign::Target::Balanced;
-      } else {
-        throw std::invalid_argument("unknown target '" + t + "'");
+      options.pipeline.target = assign::parse_target(next());
+    } else if (arg == "--strategy") {
+      options.pipeline.strategy = next();
+      assign::searcher(options.pipeline.strategy);  // fail fast, listing the registry
+    } else if (arg == "--threads") {
+      long long threads = std::stoll(next());
+      if (threads < 0 || threads > std::numeric_limits<unsigned>::max()) {
+        throw std::invalid_argument("--threads out of range");
       }
+      options.pipeline.num_threads = static_cast<unsigned>(threads);
     } else if (arg == "--no-dma") {
-      options.no_dma = true;
+      options.pipeline.dma.present = false;
     } else if (arg == "--sweep") {
       options.sweep = true;
+    } else if (arg == "--dump-config") {
+      options.dump_config = true;
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--json") {
@@ -96,27 +128,27 @@ bool parse_args(int argc, char** argv, Options& options) {
       throw std::invalid_argument("unknown option '" + arg + "'");
     }
   }
-  return !options.app.empty() || !options.file.empty() || !options.dump_app.empty();
+  return options.dump_config || !options.app.empty() || !options.file.empty() ||
+         !options.dump_app.empty();
 }
 
 ir::Program load_program(const Options& options) {
   if (!options.app.empty()) return apps::build_app(options.app);
-  std::ifstream in(options.file);
-  if (!in) throw std::invalid_argument("cannot open '" + options.file + "'");
-  std::ostringstream text;
-  text << in.rdbuf();
-  return ir::parse_program(text.str());
+  return ir::parse_program(read_file(options.file));
 }
 
 void run_sweep(const ir::Program& program, const Options& options) {
   xplore::SweepConfig config;
   for (ir::i64 size = 256; size <= 64 * 1024; size *= 2) config.l1_sizes.push_back(size);
-  config.l2_sizes = {0, options.l2};
-  config.target = options.target;
-  config.dma.present = !options.no_dma;
+  config.l2_sizes = {0, options.pipeline.platform.l2_bytes};
+  config.pipeline = options.pipeline;
 
   auto samples = xplore::sweep_layer_sizes(program, config);
   auto front = xplore::frontier(samples);
+  if (options.json) {
+    std::cout << core::to_json(front) << "\n";
+    return;
+  }
   std::cout << "explored " << samples.size() << " configurations; Pareto frontier:\n";
   core::Table table({"L1", "L2", "cycles", "energy nJ"});
   for (const xplore::TradeoffPoint& p : front) {
@@ -133,6 +165,11 @@ int main(int argc, char** argv) {
   try {
     if (!parse_args(argc, argv, options)) return usage(argv[0]);
 
+    if (options.dump_config) {
+      std::cout << core::to_json(options.pipeline) << "\n";
+      return 0;
+    }
+
     if (!options.dump_app.empty()) {
       std::cout << ir::serialize(apps::build_app(options.dump_app));
       return 0;
@@ -146,19 +183,21 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    mem::PlatformConfig platform;
-    platform.l1_bytes = options.l1;
-    platform.l2_bytes = options.l2;
-    mem::DmaEngine dma;
-    dma.present = !options.no_dma;
-
-    auto ws = core::make_workspace(std::move(program), platform, dma);
-    core::RunResult run = core::run_mhla(*ws, options.target);
+    auto ws = core::make_workspace(std::move(program), options.pipeline.platform,
+                                   options.pipeline.dma);
+    core::Pipeline pipeline(options.pipeline);
+    if (options.verbose) {
+      pipeline.set_progress([](const std::string& stage, double seconds) {
+        std::cerr << "stage " << stage << ": " << core::Table::num(seconds * 1e3, 2) << " ms\n";
+      });
+    }
+    core::PipelineResult run = pipeline.run(*ws);
 
     if (options.verbose) {
-      std::cout << "greedy moves: " << run.step1.moves.size()
-                << ", cost evaluations: " << run.step1.evaluations << "\n";
-      for (const assign::PlacedCopy& pc : run.step1.assignment.copies) {
+      std::cout << "strategy " << run.strategy << ": " << run.search.moves.size()
+                << " moves, " << run.search.evaluations << " cost evaluations, "
+                << run.search.states_explored << " states\n";
+      for (const assign::PlacedCopy& pc : run.search.assignment.copies) {
         const analysis::CopyCandidate& cc = ws->reuse().candidate(pc.cc_id);
         std::cout << "  copy " << cc.array << " nest " << cc.nest << " level " << cc.level
                   << " (" << cc.bytes << " B) -> " << ws->hierarchy().layer(pc.layer).name
@@ -167,7 +206,7 @@ int main(int argc, char** argv) {
       std::cout << "\n";
     }
     if (options.json) {
-      std::cout << core::to_json(ws->program().name(), run.points) << "\n";
+      std::cout << core::to_json(ws->program().name(), run) << "\n";
     } else {
       std::cout << sim::format_four_points(ws->program().name(), run.points) << "\n"
                 << sim::format_result(run.points.mhla_te);

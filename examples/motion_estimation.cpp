@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "apps/registry.h"
-#include "core/driver.h"
+#include "core/pipeline.h"
 #include "core/report_table.h"
 
 using namespace mhla;
@@ -50,14 +50,14 @@ int main() {
   };
 
   for (const PlatformCase& c : cases) {
-    mem::PlatformConfig platform;
-    platform.l1_bytes = c.l1;
-    platform.l2_bytes = c.l2;
-    auto ws = core::make_workspace(apps::build_motion_estimation(), platform, {});
-    core::RunResult run = core::run_mhla(*ws);
+    core::PipelineConfig config;
+    config.platform.l1_bytes = c.l1;
+    config.platform.l2_bytes = c.l2;
+    auto ws = core::make_workspace(apps::build_motion_estimation(), config.platform, config.dma);
+    core::PipelineResult run = core::Pipeline(config).run(*ws);
 
     std::cout << "================ platform: " << c.label << " ================\n";
-    describe_assignment(*ws, run.step1.assignment);
+    describe_assignment(*ws, run.search.assignment);
     std::cout << "\n" << sim::format_four_points("motion_estimation", run.points) << "\n";
   }
   return 0;

@@ -6,7 +6,7 @@
 
 #include <iostream>
 
-#include "core/driver.h"
+#include "core/pipeline.h"
 #include "ir/builder.h"
 #include "ir/printer.h"
 
@@ -32,19 +32,22 @@ int main() {
 
   // --- 2. Pick a platform: 2 KiB L1 + 32 KiB L2 scratchpads over SDRAM,
   //        with a DMA engine for the prefetching step.
-  mem::PlatformConfig platform;
-  platform.l1_bytes = 2 * 1024;
-  platform.l2_bytes = 32 * 1024;
-  mem::DmaEngine dma;  // defaults: present, 30-cycle setup
+  core::PipelineConfig config;
+  config.platform.l1_bytes = 2 * 1024;
+  config.platform.l2_bytes = 32 * 1024;
+  // defaults: DMA present (30-cycle setup), strategy "greedy", balanced target
 
-  auto workspace = core::make_workspace(pb.finish(), platform, dma);
-  std::cout << ir::to_string(workspace->program()) << "\n";
+  ir::Program program = pb.finish();
+  std::cout << ir::to_string(program) << "\n";
 
-  // --- 3. Run MHLA (step 1: selection & assignment; step 2: TE).
-  core::RunResult run = core::run_mhla(*workspace, assign::Target::Balanced);
+  // --- 3. Run the MHLA pipeline (analyze -> assign -> time-extend ->
+  //        simulate), one PipelineConfig driving every stage.
+  core::Pipeline pipeline(config);
+  core::PipelineResult run = pipeline.run(std::move(program));
 
-  std::cout << "selected copies: " << run.step1.assignment.copies.size()
-            << "  (greedy moves: " << run.step1.moves.size() << ")\n\n";
+  std::cout << "selected copies: " << run.search.assignment.copies.size()
+            << "  (strategy " << run.strategy << ", " << run.search.moves.size()
+            << " moves)\n\n";
   std::cout << sim::format_four_points("quickstart", run.points) << "\n";
   std::cout << "details of the MHLA+TE configuration:\n"
             << sim::format_result(run.points.mhla_te);

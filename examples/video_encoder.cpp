@@ -11,39 +11,40 @@
 #include <iostream>
 
 #include "apps/registry.h"
-#include "core/driver.h"
+#include "core/pipeline.h"
 #include "core/report_table.h"
 
 using namespace mhla;
 
 int main() {
-  mem::PlatformConfig platform;  // default: 4 KiB L1 + 128 KiB L2
+  core::PipelineConfig config;  // default platform: 4 KiB L1 + 128 KiB L2
 
-  // --- 1. Optimization-target comparison.
+  // --- 1. Optimization-target comparison: one PipelineConfig per target,
+  //        everything else shared.
   std::cout << "=== optimization targets (mpeg2_encoder) ===\n";
   core::Table table({"target", "time %", "energy %", "copies"});
-  auto ws = core::make_workspace(apps::build_mpeg2_encoder(), platform, {});
-  for (auto [label, target] :
-       {std::pair{"energy", assign::Target::Energy}, std::pair{"time", assign::Target::Time},
-        std::pair{"balanced", assign::Target::Balanced}}) {
-    core::RunResult run = core::run_mhla(*ws, target);
+  auto ws = core::make_workspace(apps::build_mpeg2_encoder(), config.platform, config.dma);
+  for (const char* label : {"energy", "time", "balanced"}) {
+    config.target = assign::parse_target(label);
+    core::PipelineResult run = core::Pipeline(config).run(*ws);
     double time_pct = sim::percent_of(run.points.mhla_te.total_cycles(),
                                       run.points.out_of_box.total_cycles());
     double energy_pct =
         sim::percent_of(run.points.mhla_te.energy_nj, run.points.out_of_box.energy_nj);
     table.add_row({label, core::Table::num(time_pct), core::Table::num(energy_pct),
-                   std::to_string(run.step1.assignment.copies.size())});
+                   std::to_string(run.search.assignment.copies.size())});
   }
   std::cout << table.str() << "\n";
 
   // --- 2. With vs without a DMA engine: TE applicability.
   std::cout << "=== DMA engine availability ===\n";
-  mem::DmaEngine no_dma;
-  no_dma.present = false;
-  auto ws_nodma = core::make_workspace(apps::build_mpeg2_encoder(), platform, no_dma);
+  config.target = assign::Target::Balanced;
+  core::PipelineConfig config_nodma = config;
+  config_nodma.dma.present = false;
 
-  core::RunResult with_dma = core::run_mhla(*ws);
-  core::RunResult without_dma = core::run_mhla(*ws_nodma);
+  core::PipelineResult with_dma = core::Pipeline(config).run(*ws);
+  core::PipelineResult without_dma =
+      core::Pipeline(config_nodma).run(apps::build_mpeg2_encoder());
   double base = with_dma.points.out_of_box.total_cycles();
   std::cout << "  MHLA, blocking transfers : "
             << core::Table::num(sim::percent_of(with_dma.points.mhla.total_cycles(), base))

@@ -1,22 +1,13 @@
 #include "assign/mhla_step1.h"
 
+#include <tuple>
+
 namespace mhla::assign {
 
 GreedyResult mhla_step1(const AssignContext& ctx, const Step1Options& options) {
   GreedyOptions greedy = options.greedy;
-  switch (options.target) {
-    case Target::Energy:
-      greedy.energy_weight = 1.0;
-      greedy.time_weight = 0.0;
-      break;
-    case Target::Time:
-      greedy.energy_weight = 0.0;
-      greedy.time_weight = 1.0;
-      break;
-    case Target::Balanced:
-      greedy.energy_weight = 1.0;
-      greedy.time_weight = 1.0;
-      break;
+  if (options.target != Target::Custom) {
+    std::tie(greedy.energy_weight, greedy.time_weight) = target_weights(options.target);
   }
   return greedy_assign(ctx, greedy);
 }

@@ -1,17 +1,12 @@
 #pragma once
 
-#include "assign/greedy.h"
+#include "assign/search.h"
 
 namespace mhla::assign {
 
-/// Optimization target of MHLA step 1.
-enum class Target {
-  Energy,    ///< minimize memory energy
-  Time,      ///< minimize execution cycles
-  Balanced,  ///< equal normalized weight on both (paper's trade-off points)
-};
-
-/// Step-1 driver options.
+/// Step-1 driver options (legacy shim; new code drives the strategy
+/// registry through `searcher("greedy")` + `SearchOptions::set_target`,
+/// see assign/search.h).
 struct Step1Options {
   Target target = Target::Balanced;
   GreedyOptions greedy;
@@ -19,7 +14,7 @@ struct Step1Options {
 
 /// Run MHLA step 1 ("selection and assignment"): generate nothing — the
 /// analyses live in the context — and steer the greedy search with the
-/// requested target weights.
+/// requested target weights (the one mapping in `target_weights`).
 GreedyResult mhla_step1(const AssignContext& ctx, const Step1Options& options = {});
 
 }  // namespace mhla::assign

@@ -1,0 +1,193 @@
+#include "assign/search.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace mhla::assign {
+
+std::pair<double, double> target_weights(Target target) {
+  switch (target) {
+    case Target::Energy: return {1.0, 0.0};
+    case Target::Time: return {0.0, 1.0};
+    case Target::Balanced: return {1.0, 1.0};
+    case Target::Custom: break;
+  }
+  throw std::invalid_argument("Target::Custom has no canonical weights");
+}
+
+Target parse_target(const std::string& name) {
+  if (name == "energy") return Target::Energy;
+  if (name == "time") return Target::Time;
+  if (name == "balanced") return Target::Balanced;
+  if (name == "custom") return Target::Custom;
+  throw std::invalid_argument("unknown target '" + name + "' (energy|time|balanced|custom)");
+}
+
+std::string to_string(Target target) {
+  switch (target) {
+    case Target::Energy: return "energy";
+    case Target::Time: return "time";
+    case Target::Custom: return "custom";
+    case Target::Balanced: break;
+  }
+  return "balanced";
+}
+
+SearchOptions& SearchOptions::set_target(Target target) {
+  if (target != Target::Custom) {
+    std::tie(energy_weight, time_weight) = target_weights(target);
+  }
+  return *this;
+}
+
+namespace {
+
+/// Narrowing views of SearchOptions for the concrete implementations.
+GreedyOptions to_greedy_options(const SearchOptions& options) {
+  GreedyOptions greedy;
+  greedy.energy_weight = options.energy_weight;
+  greedy.time_weight = options.time_weight;
+  greedy.max_moves = options.max_moves;
+  greedy.allow_array_migration = options.allow_array_migration;
+  greedy.use_cost_engine = options.use_cost_engine;
+  return greedy;
+}
+
+ExhaustiveOptions to_exhaustive_options(const SearchOptions& options) {
+  ExhaustiveOptions exhaustive;
+  exhaustive.energy_weight = options.energy_weight;
+  exhaustive.time_weight = options.time_weight;
+  exhaustive.max_states = options.max_states;
+  exhaustive.allow_array_migration = options.allow_array_migration;
+  exhaustive.use_cost_engine = options.use_cost_engine;
+  exhaustive.use_branch_and_bound = options.use_branch_and_bound;
+  return exhaustive;
+}
+
+SearchResult from_greedy(GreedyResult greedy) {
+  SearchResult result;
+  result.assignment = std::move(greedy.assignment);
+  result.scalar = greedy.final_scalar;
+  result.moves = std::move(greedy.moves);
+  result.evaluations = greedy.evaluations;
+  return result;
+}
+
+SearchResult from_exhaustive(ExhaustiveResult exhaustive) {
+  SearchResult result;
+  result.assignment = std::move(exhaustive.assignment);
+  result.scalar = exhaustive.scalar;
+  result.states_explored = exhaustive.states_explored;
+  result.exhausted_budget = exhaustive.exhausted_budget;
+  result.bound_prunes = exhaustive.bound_prunes;
+  result.capacity_prunes = exhaustive.capacity_prunes;
+  return result;
+}
+
+/// Greedy steering heuristic; `force_reference` pins the from-scratch path
+/// regardless of the options (the "greedy-ref" strategy).
+class GreedySearcher final : public Searcher {
+ public:
+  GreedySearcher(std::string name, std::string description, bool force_reference)
+      : name_(std::move(name)), description_(std::move(description)),
+        force_reference_(force_reference) {}
+
+  std::string name() const override { return name_; }
+  std::string description() const override { return description_; }
+
+  SearchResult search(const AssignContext& ctx, const SearchOptions& options) const override {
+    GreedyOptions greedy = to_greedy_options(options);
+    if (force_reference_) greedy.use_cost_engine = false;
+    return from_greedy(greedy_assign(ctx, greedy));
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  bool force_reference_;
+};
+
+/// Exhaustive enumeration.  The named variants pin the engine toggles so a
+/// strategy string alone selects a well-defined search behavior.
+class ExhaustiveSearcher final : public Searcher {
+ public:
+  enum class Mode {
+    Free,       ///< honor the options' engine/bound toggles
+    BnB,        ///< force engine + branch-and-bound
+    Reference,  ///< force the from-scratch enumeration
+  };
+
+  ExhaustiveSearcher(std::string name, std::string description, Mode mode)
+      : name_(std::move(name)), description_(std::move(description)), mode_(mode) {}
+
+  std::string name() const override { return name_; }
+  std::string description() const override { return description_; }
+
+  SearchResult search(const AssignContext& ctx, const SearchOptions& options) const override {
+    ExhaustiveOptions exhaustive = to_exhaustive_options(options);
+    if (mode_ == Mode::BnB) {
+      exhaustive.use_cost_engine = true;
+      exhaustive.use_branch_and_bound = true;
+    } else if (mode_ == Mode::Reference) {
+      exhaustive.use_cost_engine = false;
+    }
+    return from_exhaustive(exhaustive_assign(ctx, exhaustive));
+  }
+
+ private:
+  std::string name_;
+  std::string description_;
+  Mode mode_;
+};
+
+std::map<std::string, std::unique_ptr<Searcher>>& registry() {
+  static std::map<std::string, std::unique_ptr<Searcher>> searchers = [] {
+    std::map<std::string, std::unique_ptr<Searcher>> built_in;
+    auto add = [&](std::unique_ptr<Searcher> s) { built_in[s->name()] = std::move(s); };
+    add(std::make_unique<GreedySearcher>(
+        "greedy", "engine-backed greedy steering heuristic (MHLA step 1)", false));
+    add(std::make_unique<GreedySearcher>(
+        "greedy-ref", "from-scratch greedy reference (bit-identical, slower)", true));
+    add(std::make_unique<ExhaustiveSearcher>(
+        "bnb", "branch-and-bound exhaustive search (engine lower bound + capacity pruning)",
+        ExhaustiveSearcher::Mode::BnB));
+    add(std::make_unique<ExhaustiveSearcher>(
+        "exhaustive", "exhaustive enumeration honoring the engine/bound toggles",
+        ExhaustiveSearcher::Mode::Free));
+    add(std::make_unique<ExhaustiveSearcher>(
+        "exhaustive-ref", "from-scratch exhaustive reference enumeration",
+        ExhaustiveSearcher::Mode::Reference));
+    return built_in;
+  }();
+  return searchers;
+}
+
+}  // namespace
+
+std::vector<std::string> searcher_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, _] : registry()) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+const Searcher& searcher(const std::string& name) {
+  const auto& searchers = registry();
+  auto it = searchers.find(name);
+  if (it == searchers.end()) {
+    std::ostringstream message;
+    message << "unknown search strategy '" << name << "'; registered strategies:";
+    for (const auto& [known, _] : searchers) message << " " << known;
+    throw std::out_of_range(message.str());
+  }
+  return *it->second;
+}
+
+void register_searcher(std::unique_ptr<Searcher> strategy) {
+  if (!strategy) throw std::invalid_argument("register_searcher: null strategy");
+  registry()[strategy->name()] = std::move(strategy);
+}
+
+}  // namespace mhla::assign

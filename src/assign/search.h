@@ -1,0 +1,99 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "assign/exhaustive.h"
+#include "assign/greedy.h"
+
+namespace mhla::assign {
+
+/// Optimization target of an MHLA search (the paper's trade-off axes).
+enum class Target {
+  Energy,    ///< minimize memory energy
+  Time,      ///< minimize execution cycles
+  Balanced,  ///< equal normalized weight on both (paper's trade-off points)
+  Custom,    ///< keep the caller's explicit energy/time weights
+};
+
+/// The one named-Target -> (energy_weight, time_weight) mapping.  Every
+/// caller — the legacy `mhla_step1` shim, the pipeline, the sweep — goes
+/// through here, so a target always means the same weights everywhere.
+/// Target::Custom has no canonical weights and throws; use
+/// `SearchOptions::set_target`, which keeps the explicit weights for it.
+std::pair<double, double> target_weights(Target target);
+
+/// Parse "energy" / "time" / "balanced" / "custom"; throws
+/// std::invalid_argument on anything else.  Inverse of `to_string(Target)`.
+Target parse_target(const std::string& name);
+std::string to_string(Target target);
+
+/// Unified options for every registered search strategy.  The strategy
+/// consumes the subset that applies to it (greedy reads `max_moves`,
+/// exhaustive reads `max_states`, ...) and ignores the rest, so one struct
+/// configures any strategy selected by name.
+struct SearchOptions {
+  double energy_weight = 1.0;  ///< relative weight of normalized energy
+  double time_weight = 1.0;    ///< relative weight of normalized time
+
+  int max_moves = 100000;        ///< greedy: safety bound on accepted moves
+  long max_states = 2'000'000;   ///< exhaustive: hard bound on evaluated states
+  bool allow_array_migration = true;  ///< consider moving whole arrays on-chip
+
+  /// Engine toggles (see GreedyOptions / ExhaustiveOptions for semantics).
+  /// The "-ref" registry strategies and "bnb" override these; "greedy" and
+  /// "exhaustive" honor them.
+  bool use_cost_engine = true;
+  bool use_branch_and_bound = true;
+
+  /// Replace the weights with the canonical mapping for `target`;
+  /// Target::Custom leaves the explicit weights untouched.
+  SearchOptions& set_target(Target target);
+
+  friend bool operator==(const SearchOptions&, const SearchOptions&) = default;
+};
+
+/// Unified result of any strategy.  Greedy strategies fill the move trace
+/// and `evaluations`; exhaustive strategies fill the state counters.
+struct SearchResult {
+  Assignment assignment;
+  double scalar = 0.0;  ///< final scalarized objective value
+
+  std::vector<GreedyMove> moves;  ///< accepted-move trace (greedy strategies)
+  int evaluations = 0;            ///< cost-model invocations (greedy strategies)
+
+  long states_explored = 0;       ///< evaluated states (exhaustive strategies)
+  bool exhausted_budget = false;  ///< true if `max_states` was hit
+  long bound_prunes = 0;          ///< subtrees cut by the lower bound
+  long capacity_prunes = 0;       ///< placements cut by cumulative capacity
+};
+
+/// A search strategy selectable by name.  Implementations must be
+/// stateless across `search` calls (one registered instance serves every
+/// caller, including parallel batch drivers).
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+  virtual SearchResult search(const AssignContext& ctx, const SearchOptions& options) const = 0;
+};
+
+/// Registered strategy names, sorted.  Built-ins: "greedy" (engine-backed
+/// steering heuristic), "greedy-ref" (from-scratch reference), "bnb"
+/// (branch-and-bound exhaustive), "exhaustive" (engine enumeration honoring
+/// the toggles), "exhaustive-ref" (from-scratch enumeration).
+std::vector<std::string> searcher_names();
+
+/// Look up a strategy by name; throws std::out_of_range whose message lists
+/// every registered name (surfaced verbatim by the CLI tool).
+const Searcher& searcher(const std::string& name);
+
+/// Register a custom strategy (replaces any previous entry with the same
+/// name).  Not thread-safe against concurrent lookups; register during
+/// startup.
+void register_searcher(std::unique_ptr<Searcher> strategy);
+
+}  // namespace mhla::assign

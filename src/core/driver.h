@@ -48,6 +48,12 @@ std::unique_ptr<Workspace> make_workspace(ir::Program program,
 
 /// One end-to-end MHLA run (step 1 + step 2) with the four reference
 /// simulations of the paper's figures.
+///
+/// Legacy fixed-strategy entry point, kept as the independent reference the
+/// pipeline equivalence tests compare against.  New code should drive
+/// `core::Pipeline` (core/pipeline.h): one PipelineConfig selects the
+/// strategy by registry name and adds stage timings, progress reporting,
+/// batch runs, and JSON config round-trip.
 struct RunResult {
   assign::GreedyResult step1;
   sim::FourPoint points;

@@ -1,7 +1,13 @@
 #include "core/json_report.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <exception>
 #include <iomanip>
+#include <limits>
 #include <sstream>
+
+#include "core/json.h"
 
 namespace mhla::core {
 
@@ -9,11 +15,107 @@ namespace {
 
 std::string pad(int indent) { return std::string(static_cast<std::size_t>(indent) * 2, ' '); }
 
-std::string num(double value) {
+/// All emission goes through classic-locale streams: a host application
+/// that installs a grouping/comma-decimal global locale must not change
+/// the documents we produce.
+std::ostringstream c_stream() {
   std::ostringstream out;
+  out.imbue(std::locale::classic());
+  return out;
+}
+
+std::string num(double value) {
+  std::ostringstream out = c_stream();
   out << std::setprecision(15) << value;
   return out.str();
 }
+
+/// Round-trip-exact double formatting (max_digits10): parsing gives back
+/// the identical bits, which the config round-trip contract relies on.
+std::string num_exact(double value) {
+  std::ostringstream out = c_stream();
+  out << std::setprecision(17) << value;
+  return out.str();
+}
+
+std::string bool_text(bool value) { return value ? "true" : "false"; }
+
+const char* order_name(te::ExtensionOrder order) {
+  switch (order) {
+    case te::ExtensionOrder::TimePerByte: return "time_per_byte";
+    case te::ExtensionOrder::Fifo: return "fifo";
+    case te::ExtensionOrder::BySizeDescending: return "by_size_descending";
+    case te::ExtensionOrder::Reverse: return "reverse";
+  }
+  return "?";
+}
+
+te::ExtensionOrder parse_order(const std::string& name) {
+  if (name == "time_per_byte") return te::ExtensionOrder::TimePerByte;
+  if (name == "fifo") return te::ExtensionOrder::Fifo;
+  if (name == "by_size_descending") return te::ExtensionOrder::BySizeDescending;
+  if (name == "reverse") return te::ExtensionOrder::Reverse;
+  throw std::invalid_argument("unknown te order '" + name +
+                              "' (time_per_byte|fifo|by_size_descending|reverse)");
+}
+
+/// Walk an object's members through per-key handlers; any key without a
+/// handler is an error (catches config typos instead of silently ignoring
+/// them).
+class ObjectReader {
+ public:
+  ObjectReader(const Json& json, std::string where)
+      : json_(json), where_(std::move(where)) {
+    json.object();  // type check up front
+  }
+
+  template <typename T, typename Fn>
+  ObjectReader& field(const std::string& key, T& out, Fn&& get) {
+    handled_.push_back(key);
+    if (const Json* member = json_.find(key)) {
+      try {
+        out = get(*member);
+      } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(where_ + "." + key + ": " + e.what());
+      }
+    }
+    return *this;
+  }
+
+  ~ObjectReader() noexcept(false) {
+    if (std::uncaught_exceptions()) return;
+    for (const auto& [key, _] : json_.object()) {
+      if (std::find(handled_.begin(), handled_.end(), key) == handled_.end()) {
+        throw std::invalid_argument("unknown key \"" + where_ + "." + key + "\"");
+      }
+    }
+  }
+
+ private:
+  const Json& json_;
+  std::string where_;
+  std::vector<std::string> handled_;
+};
+
+double as_double(const Json& j) { return j.number(); }
+bool as_bool(const Json& j) { return j.boolean(); }
+
+/// Checked narrowing: an out-of-range value must throw, never wrap (a
+/// wrapped max_moves of 0 would silently disable the whole search).
+template <typename T>
+T as_integer(const Json& j) {
+  std::int64_t value = j.integer();
+  if (value < static_cast<std::int64_t>(std::numeric_limits<T>::min()) ||
+      value > static_cast<std::int64_t>(std::numeric_limits<T>::max())) {
+    throw std::invalid_argument("integer " + std::to_string(value) + " out of range");
+  }
+  return static_cast<T>(value);
+}
+
+int as_int(const Json& j) { return as_integer<int>(j); }
+long as_long(const Json& j) { return as_integer<long>(j); }
+ir::i64 as_i64(const Json& j) { return as_integer<ir::i64>(j); }
+unsigned as_unsigned(const Json& j) { return as_integer<unsigned>(j); }
 
 }  // namespace
 
@@ -41,7 +143,7 @@ std::string json_escape(const std::string& text) {
 }
 
 std::string to_json(const sim::SimResult& result, int indent) {
-  std::ostringstream out;
+  std::ostringstream out = c_stream();
   std::string p0 = pad(indent);
   std::string p1 = pad(indent + 1);
   std::string p2 = pad(indent + 2);
@@ -53,7 +155,7 @@ std::string to_json(const sim::SimResult& result, int indent) {
   out << p1 << "\"energy_nj\": " << num(result.energy_nj) << ",\n";
   out << p1 << "\"dma_busy_cycles\": " << num(result.dma_busy_cycles) << ",\n";
   out << p1 << "\"block_transfer_streams\": " << result.num_block_transfers << ",\n";
-  out << p1 << "\"feasible\": " << (result.feasible ? "true" : "false") << ",\n";
+  out << p1 << "\"feasible\": " << bool_text(result.feasible) << ",\n";
   out << p1 << "\"layers\": [\n";
   for (std::size_t l = 0; l < result.layers.size(); ++l) {
     const sim::LayerStats& layer = result.layers[l];
@@ -67,7 +169,7 @@ std::string to_json(const sim::SimResult& result, int indent) {
 }
 
 std::string to_json(const std::string& app_name, const sim::FourPoint& points, int indent) {
-  std::ostringstream out;
+  std::ostringstream out = c_stream();
   std::string p0 = pad(indent);
   std::string p1 = pad(indent + 1);
   out << p0 << "{\n";
@@ -80,8 +182,34 @@ std::string to_json(const std::string& app_name, const sim::FourPoint& points, i
   return out.str();
 }
 
+std::string to_json(const std::string& app_name, const PipelineResult& result, int indent) {
+  std::ostringstream out = c_stream();
+  std::string p0 = pad(indent);
+  std::string p1 = pad(indent + 1);
+  std::string p2 = pad(indent + 2);
+  out << p0 << "{\n";
+  out << p1 << "\"application\": \"" << json_escape(app_name) << "\",\n";
+  out << p1 << "\"strategy\": \"" << json_escape(result.strategy) << "\",\n";
+  out << p1 << "\"search\": {\"scalar\": " << num(result.search.scalar)
+      << ", \"moves\": " << result.search.moves.size()
+      << ", \"evaluations\": " << result.search.evaluations
+      << ", \"states_explored\": " << result.search.states_explored
+      << ", \"exhausted_budget\": " << bool_text(result.search.exhausted_budget) << "},\n";
+  out << p1 << "\"timings\": [\n";
+  for (std::size_t i = 0; i < result.timings.size(); ++i) {
+    out << p2 << "{\"stage\": \"" << json_escape(result.timings[i].stage)
+        << "\", \"seconds\": " << num(result.timings[i].seconds) << "}"
+        << (i + 1 < result.timings.size() ? "," : "") << "\n";
+  }
+  out << p1 << "],\n";
+  out << p1 << "\"total_seconds\": " << num(result.total_seconds) << ",\n";
+  out << p1 << "\"points\":\n" << to_json(app_name, result.points, indent + 1) << "\n";
+  out << p0 << "}";
+  return out.str();
+}
+
 std::string to_json(const std::vector<xplore::TradeoffPoint>& points, int indent) {
-  std::ostringstream out;
+  std::ostringstream out = c_stream();
   std::string p0 = pad(indent);
   std::string p1 = pad(indent + 1);
   out << p0 << "[\n";
@@ -93,6 +221,123 @@ std::string to_json(const std::vector<xplore::TradeoffPoint>& points, int indent
   }
   out << p0 << "]";
   return out.str();
+}
+
+std::string to_json(const PipelineConfig& config, int indent) {
+  std::ostringstream out = c_stream();
+  std::string p0 = pad(indent);
+  std::string p1 = pad(indent + 1);
+  std::string p2 = pad(indent + 2);
+  out << p0 << "{\n";
+  out << p1 << "\"platform\": {\n";
+  out << p2 << "\"l1_bytes\": " << config.platform.l1_bytes << ",\n";
+  out << p2 << "\"l2_bytes\": " << config.platform.l2_bytes << ",\n";
+  const mem::SramModelParams& sram = config.platform.sram;
+  out << p2 << "\"sram\": {\"base_energy_nj\": " << num_exact(sram.base_energy_nj)
+      << ", \"slope_energy_nj\": " << num_exact(sram.slope_energy_nj)
+      << ", \"write_factor\": " << num_exact(sram.write_factor)
+      << ", \"base_latency\": " << sram.base_latency
+      << ", \"latency_step_bytes\": " << sram.latency_step_bytes
+      << ", \"bytes_per_cycle\": " << num_exact(sram.bytes_per_cycle) << "},\n";
+  const mem::SdramModelParams& sdram = config.platform.sdram;
+  out << p2 << "\"sdram\": {\"read_energy_nj\": " << num_exact(sdram.read_energy_nj)
+      << ", \"write_energy_nj\": " << num_exact(sdram.write_energy_nj)
+      << ", \"read_latency\": " << sdram.read_latency
+      << ", \"write_latency\": " << sdram.write_latency
+      << ", \"bytes_per_cycle\": " << num_exact(sdram.bytes_per_cycle) << "}\n";
+  out << p1 << "},\n";
+  out << p1 << "\"dma\": {\"present\": " << bool_text(config.dma.present)
+      << ", \"setup_cycles\": " << config.dma.setup_cycles
+      << ", \"bytes_per_cycle\": " << num_exact(config.dma.bytes_per_cycle)
+      << ", \"channels\": " << config.dma.channels << "},\n";
+  out << p1 << "\"strategy\": \"" << json_escape(config.strategy) << "\",\n";
+  out << p1 << "\"target\": \"" << assign::to_string(config.target) << "\",\n";
+  const assign::SearchOptions& search = config.search;
+  out << p1 << "\"search\": {\"energy_weight\": " << num_exact(search.energy_weight)
+      << ", \"time_weight\": " << num_exact(search.time_weight)
+      << ", \"max_moves\": " << search.max_moves << ", \"max_states\": " << search.max_states
+      << ", \"allow_array_migration\": " << bool_text(search.allow_array_migration)
+      << ", \"use_cost_engine\": " << bool_text(search.use_cost_engine)
+      << ", \"use_branch_and_bound\": " << bool_text(search.use_branch_and_bound) << "},\n";
+  out << p1 << "\"te\": {\"order\": \"" << order_name(config.te.order)
+      << "\", \"max_lookahead\": " << config.te.max_lookahead
+      << ", \"charge_cold_start\": " << bool_text(config.te.charge_cold_start) << "},\n";
+  out << p1 << "\"num_threads\": " << config.num_threads << "\n";
+  out << p0 << "}";
+  return out.str();
+}
+
+PipelineConfig pipeline_config_from_json(const std::string& text) {
+  Json document = Json::parse(text);
+  PipelineConfig config;
+  ObjectReader(document, "config")
+      .field("platform", config.platform,
+             [](const Json& j) {
+               mem::PlatformConfig platform;
+               ObjectReader(j, "platform")
+                   .field("l1_bytes", platform.l1_bytes, as_i64)
+                   .field("l2_bytes", platform.l2_bytes, as_i64)
+                   .field("sram", platform.sram,
+                          [](const Json& s) {
+                            mem::SramModelParams sram;
+                            ObjectReader(s, "platform.sram")
+                                .field("base_energy_nj", sram.base_energy_nj, as_double)
+                                .field("slope_energy_nj", sram.slope_energy_nj, as_double)
+                                .field("write_factor", sram.write_factor, as_double)
+                                .field("base_latency", sram.base_latency, as_int)
+                                .field("latency_step_bytes", sram.latency_step_bytes, as_i64)
+                                .field("bytes_per_cycle", sram.bytes_per_cycle, as_double);
+                            return sram;
+                          })
+                   .field("sdram", platform.sdram, [](const Json& s) {
+                     mem::SdramModelParams sdram;
+                     ObjectReader(s, "platform.sdram")
+                         .field("read_energy_nj", sdram.read_energy_nj, as_double)
+                         .field("write_energy_nj", sdram.write_energy_nj, as_double)
+                         .field("read_latency", sdram.read_latency, as_int)
+                         .field("write_latency", sdram.write_latency, as_int)
+                         .field("bytes_per_cycle", sdram.bytes_per_cycle, as_double);
+                     return sdram;
+                   });
+               return platform;
+             })
+      .field("dma", config.dma,
+             [](const Json& j) {
+               mem::DmaEngine dma;
+               ObjectReader(j, "dma")
+                   .field("present", dma.present, as_bool)
+                   .field("setup_cycles", dma.setup_cycles, as_int)
+                   .field("bytes_per_cycle", dma.bytes_per_cycle, as_double)
+                   .field("channels", dma.channels, as_int);
+               return dma;
+             })
+      .field("strategy", config.strategy, [](const Json& j) { return j.string(); })
+      .field("target", config.target,
+             [](const Json& j) { return assign::parse_target(j.string()); })
+      .field("search", config.search,
+             [](const Json& j) {
+               assign::SearchOptions search;
+               ObjectReader(j, "search")
+                   .field("energy_weight", search.energy_weight, as_double)
+                   .field("time_weight", search.time_weight, as_double)
+                   .field("max_moves", search.max_moves, as_int)
+                   .field("max_states", search.max_states, as_long)
+                   .field("allow_array_migration", search.allow_array_migration, as_bool)
+                   .field("use_cost_engine", search.use_cost_engine, as_bool)
+                   .field("use_branch_and_bound", search.use_branch_and_bound, as_bool);
+               return search;
+             })
+      .field("te", config.te,
+             [](const Json& j) {
+               te::TeOptions te;
+               ObjectReader(j, "te")
+                   .field("order", te.order, [](const Json& o) { return parse_order(o.string()); })
+                   .field("max_lookahead", te.max_lookahead, as_int)
+                   .field("charge_cold_start", te.charge_cold_start, as_bool);
+               return te;
+             })
+      .field("num_threads", config.num_threads, as_unsigned);
+  return config;
 }
 
 }  // namespace mhla::core

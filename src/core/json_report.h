@@ -3,14 +3,16 @@
 #include <string>
 #include <vector>
 
+#include "core/pipeline.h"
 #include "explore/pareto.h"
 #include "sim/simulator.h"
 
 namespace mhla::core {
 
-/// Machine-readable result export (JSON), so the reproduced figures can be
-/// plotted without scraping the text tables.  Emission only — the library
-/// never needs to parse these back.
+/// Machine-readable export (JSON) of results, so the reproduced figures can
+/// be plotted without scraping the text tables — plus the PipelineConfig
+/// document round-trip (emit + parse) that lets batch drivers and external
+/// tooling describe runs as files.
 
 /// One simulation result as a JSON object.
 std::string to_json(const sim::SimResult& result, int indent = 0);
@@ -18,8 +20,21 @@ std::string to_json(const sim::SimResult& result, int indent = 0);
 /// The four reference points of Figure 2/3 for one application.
 std::string to_json(const std::string& app_name, const sim::FourPoint& points, int indent = 0);
 
+/// A full pipeline run: the four points plus strategy metadata (name,
+/// search effort) and per-stage wall-clock timings.
+std::string to_json(const std::string& app_name, const PipelineResult& result, int indent = 0);
+
 /// A trade-off sample set (e.g. a sweep or its Pareto frontier).
 std::string to_json(const std::vector<xplore::TradeoffPoint>& points, int indent = 0);
+
+/// A pipeline configuration.  Doubles are emitted with enough digits that
+/// `pipeline_config_from_json(to_json(c)) == c` holds exactly.
+std::string to_json(const PipelineConfig& config, int indent = 0);
+
+/// Parse a configuration document.  Every key is optional (absent keys keep
+/// their defaults); unknown keys, type mismatches, and malformed JSON throw
+/// std::invalid_argument with a message pinpointing the problem.
+PipelineConfig pipeline_config_from_json(const std::string& text);
 
 /// Escape a string for embedding in JSON.
 std::string json_escape(const std::string& text);

@@ -14,6 +14,11 @@ SweepConfig default_sweep() {
 }
 
 std::vector<SweepSample> sweep_layer_sizes(const ir::Program& program, const SweepConfig& config) {
+  // Resolve the strategy once (also validates the name before any work).
+  const assign::Searcher& strategy = assign::searcher(config.pipeline.strategy);
+  assign::SearchOptions search = config.pipeline.search;
+  search.set_target(config.pipeline.target);
+
   // Program-level analyses are hierarchy independent; run them once and
   // share them read-only across the worker pool.
   std::vector<analysis::AccessSite> sites = analysis::collect_sites(program);
@@ -31,32 +36,30 @@ std::vector<SweepSample> sweep_layer_sizes(const ir::Program& program, const Swe
   }
 
   std::vector<SweepSample> samples(grid.size());
-  core::parallel_for(grid.size(), config.num_threads, [&](std::size_t i) {
+  core::parallel_for(grid.size(), config.pipeline.num_threads, [&](std::size_t i) {
     auto [l2, l1] = grid[i];
-    mem::PlatformConfig platform;
+    mem::PlatformConfig platform = config.pipeline.platform;
     platform.l1_bytes = l1;
     platform.l2_bytes = l2;
-    platform.sram = config.sram;
-    platform.sdram = config.sdram;
     mem::Hierarchy hierarchy = mem::make_hierarchy(platform);
 
-    assign::AssignContext ctx{program, sites, reuse, live, deps, hierarchy, config.dma};
-    assign::Step1Options step1;
-    step1.target = config.target;
-    assign::GreedyResult greedy = assign::mhla_step1(ctx, step1);
+    assign::AssignContext ctx{program, sites, reuse, live, deps, hierarchy,
+                              config.pipeline.dma};
+    assign::SearchResult found = strategy.search(ctx, search);
 
     sim::SimOptions sim_options;
-    sim_options.mode = config.with_te && config.dma.present
+    sim_options.mode = config.with_te && config.pipeline.dma.present
                            ? te::TransferMode::TimeExtended
                            : te::TransferMode::Blocking;
-    sim::SimResult result = sim::simulate(ctx, greedy.assignment, sim_options);
+    sim_options.te = config.pipeline.te;
+    sim::SimResult result = sim::simulate(ctx, found.assignment, sim_options);
 
     SweepSample& sample = samples[i];
     sample.point.l1_bytes = l1;
     sample.point.l2_bytes = l2;
     sample.point.cycles = result.total_cycles();
     sample.point.energy_nj = result.energy_nj;
-    sample.assignment = std::move(greedy.assignment);
+    sample.assignment = std::move(found.assignment);
     sample.te_applied = sim_options.mode == te::TransferMode::TimeExtended;
   });
   return samples;

@@ -1,6 +1,6 @@
 #pragma once
 
-#include "assign/mhla_step1.h"
+#include "core/pipeline.h"
 #include "explore/pareto.h"
 #include "sim/simulator.h"
 
@@ -14,32 +14,30 @@ struct SweepSample {
 };
 
 /// Parameters of a layer-size sweep: the candidate L1 and L2 capacities
-/// (bytes; 0 disables a layer for that sample) and the optimization target.
+/// (bytes; 0 disables a layer for that sample) over one shared pipeline
+/// configuration.  The pipeline carries everything a single run carries —
+/// platform models, DMA engine, strategy, target, TE options, thread count
+/// — so a sweep and a single run can never silently diverge; only
+/// `pipeline.platform.l1_bytes/l2_bytes` are overridden per grid cell.
 struct SweepConfig {
   std::vector<i64> l1_sizes;
   std::vector<i64> l2_sizes;
-  assign::Target target = assign::Target::Balanced;
-  bool with_te = true;
-  mem::SramModelParams sram;
-  mem::SdramModelParams sdram;
-  mem::DmaEngine dma;
+  core::PipelineConfig pipeline;
 
-  /// Worker threads for the grid evaluation: 0 picks the hardware
-  /// concurrency, 1 forces the serial path.  Every thread count produces
-  /// the identical sample vector (each grid cell is independent and writes
-  /// only its own slot).
-  unsigned num_threads = 0;
+  /// Apply time extensions to each sample (requires `pipeline.dma.present`).
+  bool with_te = true;
 };
 
 /// Default sweep grid used by the trade-off benchmark:
 /// L1 in {256 B .. 64 KiB} (powers of two), L2 in {0, 64 KiB, 256 KiB}.
 SweepConfig default_sweep();
 
-/// Run MHLA (and optionally TE) for every (L1, L2) combination of the grid
-/// and return every sample.  Program-level analyses run once and are shared
-/// read-only; each grid cell builds its own hierarchy/context and is
-/// evaluated on a worker pool (`config.num_threads`), in a deterministic
-/// order independent of the thread count.
+/// Run the configured strategy (and optionally TE) for every (L1, L2)
+/// combination of the grid and return every sample.  Program-level analyses
+/// run once and are shared read-only; each grid cell builds its own
+/// hierarchy/context and is evaluated on a worker pool
+/// (`config.pipeline.num_threads`), in a deterministic order independent of
+/// the thread count.
 std::vector<SweepSample> sweep_layer_sizes(const ir::Program& program, const SweepConfig& config);
 
 /// Pareto frontier of a sample set.

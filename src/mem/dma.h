@@ -17,6 +17,8 @@ struct DmaEngine {
   /// Cycles one block transfer of `bytes` occupies the engine, given the
   /// source and destination layer bandwidths (min of the three).
   double transfer_cycles(i64 bytes, const MemLayer& src, const MemLayer& dst) const;
+
+  friend bool operator==(const DmaEngine&, const DmaEngine&) = default;
 };
 
 /// Cycles a *blocking* (CPU-driven, no DMA overlap) transfer of `bytes`

@@ -19,6 +19,8 @@ struct SramModelParams {
   int base_latency = 1;
   i64 latency_step_bytes = 32 * 1024;  ///< +1 cycle per 32 KiB of capacity
   double bytes_per_cycle = 8.0;
+
+  friend bool operator==(const SramModelParams&, const SramModelParams&) = default;
 };
 
 /// Off-chip SDRAM: flat, high per-access cost dominated by I/O.
@@ -28,6 +30,8 @@ struct SdramModelParams {
   int read_latency = 20;
   int write_latency = 20;
   double bytes_per_cycle = 2.0;
+
+  friend bool operator==(const SdramModelParams&, const SdramModelParams&) = default;
 };
 
 /// Process nodes with calibrated model presets.  The paper's era was

@@ -41,6 +41,8 @@ struct PlatformConfig {
   i64 l2_bytes = 128 * 1024;
   SramModelParams sram;
   SdramModelParams sdram;
+
+  friend bool operator==(const PlatformConfig&, const PlatformConfig&) = default;
 };
 
 /// Build a hierarchy from the platform description.

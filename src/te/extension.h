@@ -20,6 +20,8 @@ struct TeOptions {
   /// Off by default (steady-state model, like the paper's estimates); the
   /// refinement benches/tests turn it on.
   bool charge_cold_start = false;
+
+  friend bool operator==(const TeOptions&, const TeOptions&) = default;
 };
 
 /// Extension decision for one block transfer.

@@ -1,0 +1,155 @@
+#include "assign/search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "helpers.h"
+
+namespace mhla::assign {
+namespace {
+
+using ir::av;
+using testing::make_ws;
+
+/// Small single-array program every registered strategy (including the
+/// reference enumeration with its 24-placement guard) accepts.
+ir::Program micro_program() {
+  ir::ProgramBuilder pb("micro");
+  pb.array("a", {16}, 4).input();
+  pb.begin_loop("r", 0, 8);
+  pb.begin_loop("i", 0, 16);
+  pb.stmt("s", 1).read("a", {av("i")});
+  pb.end_loop();
+  pb.end_loop();
+  return pb.finish();
+}
+
+mem::PlatformConfig micro_platform() {
+  mem::PlatformConfig platform;
+  platform.l1_bytes = 256;
+  platform.l2_bytes = 0;
+  return platform;
+}
+
+TEST(Search, TargetWeightsMappingIsCanonical) {
+  EXPECT_EQ(target_weights(Target::Energy), std::make_pair(1.0, 0.0));
+  EXPECT_EQ(target_weights(Target::Time), std::make_pair(0.0, 1.0));
+  EXPECT_EQ(target_weights(Target::Balanced), std::make_pair(1.0, 1.0));
+
+  SearchOptions options;
+  options.set_target(Target::Energy);
+  EXPECT_EQ(options.energy_weight, 1.0);
+  EXPECT_EQ(options.time_weight, 0.0);
+}
+
+TEST(Search, TargetNamesRoundTrip) {
+  for (Target t : {Target::Energy, Target::Time, Target::Balanced}) {
+    EXPECT_EQ(parse_target(to_string(t)), t);
+  }
+  EXPECT_THROW(parse_target("speed"), std::invalid_argument);
+}
+
+TEST(Search, MhlaStep1MatchesRegistryGreedyWithTargetWeights) {
+  // The old shim and the new API must share the one Target -> weights
+  // mapping: identical moves, evaluations, and result bits.
+  auto ws = make_ws(testing::blocked_reuse_program());
+  auto ctx = ws->context();
+  for (Target target : {Target::Energy, Target::Time, Target::Balanced}) {
+    Step1Options step1;
+    step1.target = target;
+    GreedyResult old_api = mhla_step1(ctx, step1);
+
+    SearchOptions options;
+    options.set_target(target);
+    SearchResult new_api = searcher("greedy").search(ctx, options);
+
+    EXPECT_EQ(new_api.assignment, old_api.assignment);
+    EXPECT_EQ(new_api.scalar, old_api.final_scalar);
+    EXPECT_EQ(new_api.evaluations, old_api.evaluations);
+    EXPECT_EQ(new_api.moves.size(), old_api.moves.size());
+  }
+}
+
+TEST(Search, AllRegisteredStrategiesRunOnAMicroInstance) {
+  auto ws = make_ws(micro_program(), micro_platform());
+  auto ctx = ws->context();
+  std::vector<std::string> names = searcher_names();
+  ASSERT_GE(names.size(), 5u);
+  for (const std::string& name : names) {
+    const Searcher& strategy = searcher(name);
+    EXPECT_EQ(strategy.name(), name);
+    EXPECT_FALSE(strategy.description().empty());
+    SearchResult result = strategy.search(ctx, {});
+    EXPECT_TRUE(fits(ctx, result.assignment)) << name;
+    EXPECT_TRUE(layering_valid(ctx, result.assignment)) << name;
+    EXPECT_GT(result.scalar, 0.0) << name;
+  }
+}
+
+TEST(Search, ExhaustiveVariantsAgreeOnTheOptimum) {
+  auto ws = make_ws(micro_program(), micro_platform());
+  auto ctx = ws->context();
+  SearchResult reference = searcher("exhaustive-ref").search(ctx, {});
+  SearchResult bnb = searcher("bnb").search(ctx, {});
+  EXPECT_EQ(bnb.scalar, reference.scalar);
+  EXPECT_EQ(bnb.assignment, reference.assignment);
+  EXPECT_GT(reference.states_explored, 0);
+  // The bound must have cut states, never added them.
+  EXPECT_LE(bnb.states_explored, reference.states_explored);
+}
+
+TEST(Search, GreedyRefForcesTheReferencePath) {
+  // Whatever the toggle says, "greedy-ref" runs from scratch and must match
+  // the engine-backed "greedy" bit for bit (the engine contract).
+  auto ws = make_ws(testing::blocked_reuse_program());
+  auto ctx = ws->context();
+  SearchOptions engine_on;  // defaults: use_cost_engine = true
+  SearchResult ref = searcher("greedy-ref").search(ctx, engine_on);
+  SearchResult fast = searcher("greedy").search(ctx, engine_on);
+  EXPECT_EQ(ref.assignment, fast.assignment);
+  EXPECT_EQ(ref.scalar, fast.scalar);
+  EXPECT_EQ(ref.evaluations, fast.evaluations);
+}
+
+TEST(Search, UnknownNameThrowsListingTheRegistry) {
+  try {
+    searcher("anneal");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    std::string message = e.what();
+    EXPECT_NE(message.find("anneal"), std::string::npos);
+    for (const std::string& name : searcher_names()) {
+      EXPECT_NE(message.find(name), std::string::npos) << name;
+    }
+  }
+}
+
+TEST(Search, CustomStrategyCanBeRegistered) {
+  class Fixed final : public Searcher {
+   public:
+    std::string name() const override { return "test-fixed"; }
+    std::string description() const override { return "out-of-box, for the registry test"; }
+    SearchResult search(const AssignContext& ctx, const SearchOptions& options) const override {
+      SearchResult result;
+      result.assignment = out_of_box(ctx);
+      Objective objective =
+          make_objective(ctx, options.energy_weight, options.time_weight);
+      result.scalar = objective.scalar(estimate_cost(ctx, result.assignment));
+      result.evaluations = 1;
+      return result;
+    }
+  };
+  register_searcher(std::make_unique<Fixed>());
+  auto ws = make_ws(micro_program(), micro_platform());
+  auto ctx = ws->context();
+  SearchResult result = searcher("test-fixed").search(ctx, {});
+  EXPECT_TRUE(result.assignment.copies.empty());
+  EXPECT_GT(result.scalar, 0.0);
+  std::vector<std::string> names = searcher_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test-fixed"), names.end());
+}
+
+}  // namespace
+}  // namespace mhla::assign

@@ -1,0 +1,95 @@
+#include "core/json.h"
+
+#include <gtest/gtest.h>
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace mhla::core {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").boolean());
+  EXPECT_FALSE(Json::parse("false").boolean());
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").number(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("-0.5e2").number(), -50.0);
+  EXPECT_EQ(Json::parse("42").integer(), 42);
+  EXPECT_EQ(Json::parse("-7").integer(), -7);
+  EXPECT_EQ(Json::parse("\"hi\"").string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  Json doc = Json::parse(R"({
+    "name": "mhla",
+    "sizes": [256, 1024, 65536],
+    "nested": {"flag": true, "weight": 1.5}
+  })");
+  EXPECT_EQ(doc.at("name").string(), "mhla");
+  ASSERT_EQ(doc.at("sizes").array().size(), 3u);
+  EXPECT_EQ(doc.at("sizes").array()[2].integer(), 65536);
+  EXPECT_TRUE(doc.at("nested").at("flag").boolean());
+  EXPECT_DOUBLE_EQ(doc.at("nested").at("weight").number(), 1.5);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\nd\te")").string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(Json::parse(R"("Aé")").string(), "A\xc3\xa9");
+}
+
+TEST(Json, RoundTripsSeventeenDigitDoubles) {
+  // The config emitter relies on strtod(max_digits10 text) == original.
+  for (double value : {0.1, 1.0 / 3.0, 2.5e-3, 123456.789012345, 4.0}) {
+    std::ostringstream out;
+    out << std::setprecision(17) << value;
+    EXPECT_EQ(Json::parse(out.str()).number(), value) << out.str();
+  }
+}
+
+TEST(Json, SyntaxErrorsCarryPosition) {
+  try {
+    Json::parse("{\"a\": 1,\n  bad}");
+    FAIL() << "expected a parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(Json::parse(""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1, 2"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("tru"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("1 2"), std::invalid_argument);          // trailing garbage
+  EXPECT_THROW(Json::parse("{\"a\":1,\"a\":2}"), std::invalid_argument);  // dup key
+  EXPECT_THROW(Json::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("01x"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1,]"), std::invalid_argument);
+}
+
+TEST(Json, DeepNestingThrowsInsteadOfOverflowing) {
+  std::string deep(100000, '[');
+  deep += std::string(100000, ']');
+  EXPECT_THROW(Json::parse(deep), std::invalid_argument);
+  std::string objects;
+  for (int i = 0; i < 5000; ++i) objects += "{\"k\":";
+  objects += "1" + std::string(5000, '}');
+  EXPECT_THROW(Json::parse(objects), std::invalid_argument);
+  // A reasonable depth still parses.
+  EXPECT_NO_THROW(Json::parse(std::string(50, '[') + "1" + std::string(50, ']')));
+}
+
+TEST(Json, AccessorsAreTypeChecked) {
+  Json doc = Json::parse("{\"a\": [1]}");
+  EXPECT_THROW(doc.at("a").string(), std::invalid_argument);
+  EXPECT_THROW(doc.at("a").number(), std::invalid_argument);
+  EXPECT_THROW(doc.at("missing"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("1.5").integer(), std::invalid_argument);
+  EXPECT_THROW(Json::parse("3").string(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mhla::core

@@ -1,0 +1,285 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/json.h"
+#include "core/json_report.h"
+#include "helpers.h"
+
+namespace mhla::core {
+namespace {
+
+/// Exact (bit-level) comparison of two simulation results.
+void expect_same_result(const sim::SimResult& a, const sim::SimResult& b,
+                        const std::string& where) {
+  EXPECT_EQ(a.compute_cycles, b.compute_cycles) << where;
+  EXPECT_EQ(a.access_cycles, b.access_cycles) << where;
+  EXPECT_EQ(a.stall_cycles, b.stall_cycles) << where;
+  EXPECT_EQ(a.energy_nj, b.energy_nj) << where;
+  EXPECT_EQ(a.dma_busy_cycles, b.dma_busy_cycles) << where;
+  EXPECT_EQ(a.num_block_transfers, b.num_block_transfers) << where;
+  EXPECT_EQ(a.feasible, b.feasible) << where;
+  ASSERT_EQ(a.layers.size(), b.layers.size()) << where;
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    EXPECT_EQ(a.layers[i].reads, b.layers[i].reads) << where;
+    EXPECT_EQ(a.layers[i].writes, b.layers[i].writes) << where;
+    EXPECT_EQ(a.layers[i].energy_nj, b.layers[i].energy_nj) << where;
+  }
+  EXPECT_EQ(a.nest_cycles, b.nest_cycles) << where;
+}
+
+void expect_same_points(const sim::FourPoint& a, const sim::FourPoint& b,
+                        const std::string& app) {
+  expect_same_result(a.out_of_box, b.out_of_box, app + "/out_of_box");
+  expect_same_result(a.mhla, b.mhla, app + "/mhla");
+  expect_same_result(a.mhla_te, b.mhla_te, app + "/mhla_te");
+  expect_same_result(a.ideal, b.ideal, app + "/ideal");
+}
+
+/// A config with every field moved off its default, for round-trip tests.
+PipelineConfig custom_config() {
+  PipelineConfig config;
+  config.platform.l1_bytes = 2048;
+  config.platform.l2_bytes = 0;
+  config.platform.sram.base_energy_nj = 0.03;
+  config.platform.sram.slope_energy_nj = 0.004;
+  config.platform.sram.write_factor = 1.25;
+  config.platform.sram.base_latency = 2;
+  config.platform.sram.latency_step_bytes = 16 * 1024;
+  config.platform.sram.bytes_per_cycle = 4.0;
+  config.platform.sdram.read_energy_nj = 5.5;
+  config.platform.sdram.write_energy_nj = 6.1;
+  config.platform.sdram.read_latency = 25;
+  config.platform.sdram.write_latency = 28;
+  config.platform.sdram.bytes_per_cycle = 1.5;
+  config.dma.present = false;
+  config.dma.setup_cycles = 42;
+  config.dma.bytes_per_cycle = 3.5;
+  config.dma.channels = 2;
+  config.strategy = "bnb";
+  config.target = assign::Target::Energy;
+  config.search.energy_weight = 0.75;
+  config.search.time_weight = 0.25;
+  config.search.max_moves = 500;
+  config.search.max_states = 12345;
+  config.search.allow_array_migration = false;
+  config.search.use_cost_engine = false;
+  config.search.use_branch_and_bound = false;
+  config.te.order = te::ExtensionOrder::BySizeDescending;
+  config.te.max_lookahead = 5;
+  config.te.charge_cold_start = true;
+  config.num_threads = 3;
+  return config;
+}
+
+TEST(Pipeline, GreedyStrategyMatchesRunMhlaBitIdenticallyOnAllNineApps) {
+  // Acceptance criterion of the API redesign: the facade must not move a
+  // single bit relative to the legacy run_mhla driver.
+  for (const apps::AppInfo& info : apps::all_apps()) {
+    auto ws = make_workspace(info.build(), {}, {});
+    RunResult legacy = run_mhla(*ws);
+
+    Pipeline pipeline(PipelineConfig{});
+    PipelineResult result = pipeline.run(*ws);
+
+    expect_same_points(result.points, legacy.points, info.name);
+    EXPECT_EQ(result.search.assignment, legacy.step1.assignment) << info.name;
+    EXPECT_EQ(result.search.scalar, legacy.step1.final_scalar) << info.name;
+    EXPECT_EQ(result.search.evaluations, legacy.step1.evaluations) << info.name;
+  }
+}
+
+TEST(Pipeline, MatchesRunMhlaForEveryTarget) {
+  auto ws = make_workspace(apps::build_cavity_detection(), {}, {});
+  for (assign::Target target :
+       {assign::Target::Energy, assign::Target::Time, assign::Target::Balanced}) {
+    RunResult legacy = run_mhla(*ws, target);
+    PipelineConfig config;
+    config.target = target;
+    PipelineResult result = Pipeline(config).run(*ws);
+    expect_same_points(result.points, legacy.points, assign::to_string(target));
+  }
+}
+
+TEST(Pipeline, RunFromProgramMatchesRunFromWorkspace) {
+  PipelineConfig config;
+  config.platform = testing::small_platform();
+  Pipeline pipeline(config);
+  auto ws = make_workspace(testing::blocked_reuse_program(), config.platform, config.dma);
+  PipelineResult from_ws = pipeline.run(*ws);
+  PipelineResult from_program = pipeline.run(testing::blocked_reuse_program());
+  expect_same_points(from_program.points, from_ws.points, "blocked");
+}
+
+TEST(Pipeline, UnknownStrategyThrowsAtConstruction) {
+  PipelineConfig config;
+  config.strategy = "simulated-annealing";
+  EXPECT_THROW(Pipeline pipeline(config), std::out_of_range);
+}
+
+TEST(Pipeline, ReportsStagesAndTimings) {
+  PipelineConfig config;
+  config.platform = testing::small_platform();
+  Pipeline pipeline(config);
+  std::vector<std::string> seen;
+  pipeline.set_progress([&](const std::string& stage, double) { seen.push_back(stage); });
+  PipelineResult result = pipeline.run(testing::blocked_reuse_program());
+
+  std::vector<std::string> expected = {"analyze", "assign", "time_extend", "simulate"};
+  EXPECT_EQ(seen, expected);
+  ASSERT_EQ(result.timings.size(), expected.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result.timings[i].stage, expected[i]);
+    EXPECT_GE(result.timings[i].seconds, 0.0);
+    sum += result.timings[i].seconds;
+  }
+  EXPECT_DOUBLE_EQ(result.total_seconds, sum);
+}
+
+TEST(Pipeline, RunBatchIsDeterministicForAnyThreadCount) {
+  std::vector<ir::Program> programs;
+  programs.push_back(testing::tiny_stream_program());
+  programs.push_back(testing::blocked_reuse_program());
+  programs.push_back(testing::producer_consumer_program());
+
+  PipelineConfig config;
+  config.platform = testing::small_platform();
+  config.num_threads = 1;
+  std::vector<PipelineResult> serial = Pipeline(config).run_batch([&] {
+    std::vector<ir::Program> copy;
+    copy.push_back(testing::tiny_stream_program());
+    copy.push_back(testing::blocked_reuse_program());
+    copy.push_back(testing::producer_consumer_program());
+    return copy;
+  }());
+  ASSERT_EQ(serial.size(), 3u);
+
+  for (unsigned threads : {0u, 2u, 4u}) {
+    config.num_threads = threads;
+    Pipeline pipeline(config);
+    int completed = 0;
+    pipeline.set_progress([&](const std::string&, double) { ++completed; });
+    std::vector<PipelineResult> parallel = pipeline.run_batch([&] {
+      std::vector<ir::Program> copy;
+      copy.push_back(testing::tiny_stream_program());
+      copy.push_back(testing::blocked_reuse_program());
+      copy.push_back(testing::producer_consumer_program());
+      return copy;
+    }());
+    ASSERT_EQ(parallel.size(), serial.size()) << "threads " << threads;
+    EXPECT_EQ(completed, 3) << "threads " << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      expect_same_points(parallel[i].points, serial[i].points,
+                         "batch[" + std::to_string(i) + "] threads " + std::to_string(threads));
+      EXPECT_EQ(parallel[i].search.assignment, serial[i].search.assignment);
+    }
+  }
+}
+
+TEST(PipelineConfigJson, DefaultConfigRoundTrips) {
+  PipelineConfig config;
+  EXPECT_EQ(pipeline_config_from_json(to_json(config)), config);
+}
+
+TEST(PipelineConfigJson, CustomConfigRoundTripsLosslessly) {
+  PipelineConfig config = custom_config();
+  PipelineConfig parsed = pipeline_config_from_json(to_json(config));
+  EXPECT_EQ(parsed, config);
+  // And the emitted text is stable across one round trip.
+  EXPECT_EQ(to_json(parsed), to_json(config));
+}
+
+TEST(PipelineConfigJson, PartialDocumentsKeepDefaults) {
+  PipelineConfig parsed = pipeline_config_from_json(
+      R"({"strategy": "bnb", "platform": {"l1_bytes": 512}})");
+  EXPECT_EQ(parsed.strategy, "bnb");
+  EXPECT_EQ(parsed.platform.l1_bytes, 512);
+  PipelineConfig defaults;
+  EXPECT_EQ(parsed.platform.l2_bytes, defaults.platform.l2_bytes);
+  EXPECT_EQ(parsed.te, defaults.te);
+  EXPECT_EQ(parsed.search, defaults.search);
+}
+
+TEST(PipelineConfigJson, MalformedInputGivesClearErrors) {
+  // Syntax error: position included.
+  try {
+    pipeline_config_from_json("{\"strategy\": }");
+    FAIL() << "expected a parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("JSON parse error"), std::string::npos) << e.what();
+  }
+  // Unknown key: named.
+  try {
+    pipeline_config_from_json(R"({"stratgy": "greedy"})");
+    FAIL() << "expected an unknown-key error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("stratgy"), std::string::npos) << e.what();
+  }
+  // Nested unknown key: path included.
+  EXPECT_THROW(pipeline_config_from_json(R"({"platform": {"l3_bytes": 1}})"),
+               std::invalid_argument);
+  // Type mismatch.
+  EXPECT_THROW(pipeline_config_from_json(R"({"num_threads": "many"})"),
+               std::invalid_argument);
+  // Bad enum text.
+  EXPECT_THROW(pipeline_config_from_json(R"({"target": "speed"})"), std::invalid_argument);
+  EXPECT_THROW(pipeline_config_from_json(R"({"te": {"order": "random"}})"),
+               std::invalid_argument);
+}
+
+TEST(PipelineConfigJson, OutOfRangeIntegersThrowInsteadOfWrapping) {
+  // A wrapped max_moves of 0 would silently disable the search.
+  EXPECT_THROW(pipeline_config_from_json(R"({"search": {"max_moves": 4294967296}})"),
+               std::invalid_argument);
+  EXPECT_THROW(pipeline_config_from_json(R"({"num_threads": -1})"), std::invalid_argument);
+  EXPECT_THROW(pipeline_config_from_json(R"({"dma": {"setup_cycles": 3000000000}})"),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, CustomTargetHonorsExplicitWeights) {
+  // target "custom" must make the serialized weights live: an all-energy
+  // custom weighting matches the Energy target bit for bit.
+  auto ws = make_workspace(apps::build_cavity_detection(), {}, {});
+  PipelineConfig energy;
+  energy.target = assign::Target::Energy;
+  PipelineConfig custom = pipeline_config_from_json(
+      R"({"target": "custom", "search": {"energy_weight": 1.0, "time_weight": 0.0}})");
+  expect_same_points(Pipeline(custom).run(*ws).points, Pipeline(energy).run(*ws).points,
+                     "custom-vs-energy");
+  // And a custom weighting that differs from balanced must be able to
+  // change the outcome's objective trade-off direction.
+  EXPECT_EQ(assign::parse_target("custom"), assign::Target::Custom);
+  EXPECT_EQ(assign::to_string(assign::Target::Custom), "custom");
+  EXPECT_THROW(assign::target_weights(assign::Target::Custom), std::invalid_argument);
+}
+
+TEST(PipelineConfigJson, ParsedConfigDrivesThePipeline) {
+  PipelineConfig config;
+  config.platform = testing::small_platform();
+  PipelineConfig parsed = pipeline_config_from_json(to_json(config));
+  PipelineResult from_parsed = Pipeline(parsed).run(testing::blocked_reuse_program());
+  PipelineResult from_value = Pipeline(config).run(testing::blocked_reuse_program());
+  expect_same_points(from_parsed.points, from_value.points, "parsed-config");
+}
+
+TEST(PipelineResultJson, EmitsStrategyMetadataAndTimings) {
+  PipelineConfig config;
+  config.platform = testing::small_platform();
+  PipelineResult result = Pipeline(config).run(testing::blocked_reuse_program());
+  std::string text = to_json("blocked", result);
+
+  Json doc = Json::parse(text);
+  EXPECT_EQ(doc.at("application").string(), "blocked");
+  EXPECT_EQ(doc.at("strategy").string(), "greedy");
+  EXPECT_GT(doc.at("search").at("evaluations").integer(), 0);
+  ASSERT_EQ(doc.at("timings").array().size(), 4u);
+  EXPECT_EQ(doc.at("timings").array()[1].at("stage").string(), "assign");
+  EXPECT_EQ(doc.at("points").at("application").string(), "blocked");
+  EXPECT_GT(doc.at("points").at("mhla").at("total_cycles").number(), 0.0);
+}
+
+}  // namespace
+}  // namespace mhla::core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "helpers.h"
 
 namespace mhla::xplore {
@@ -54,7 +56,7 @@ TEST(Sweep, NoDmaDisablesTe) {
   config.l1_sizes = {1024};
   config.l2_sizes = {0};
   config.with_te = true;
-  config.dma.present = false;
+  config.pipeline.dma.present = false;
   auto samples = sweep_layer_sizes(testing::blocked_reuse_program(), config);
   EXPECT_FALSE(samples[0].te_applied);
 }
@@ -64,12 +66,12 @@ TEST(Sweep, ParallelSweepIsDeterministicForAnyThreadCount) {
   config.l1_sizes = {256, 1024, 4096};
   config.l2_sizes = {0, 8192};
 
-  config.num_threads = 1;
+  config.pipeline.num_threads = 1;
   auto serial = sweep_layer_sizes(testing::blocked_reuse_program(), config);
   ASSERT_EQ(serial.size(), 6u);
 
   for (unsigned threads : {0u, 2u, 3u, 8u}) {
-    config.num_threads = threads;
+    config.pipeline.num_threads = threads;
     auto parallel = sweep_layer_sizes(testing::blocked_reuse_program(), config);
     ASSERT_EQ(parallel.size(), serial.size()) << "threads " << threads;
     for (std::size_t i = 0; i < serial.size(); ++i) {
@@ -81,6 +83,31 @@ TEST(Sweep, ParallelSweepIsDeterministicForAnyThreadCount) {
       EXPECT_EQ(parallel[i].te_applied, serial[i].te_applied);
     }
   }
+}
+
+TEST(Sweep, UnknownStrategyThrowsBeforeAnyWork) {
+  SweepConfig config;
+  config.l1_sizes = {256};
+  config.l2_sizes = {0};
+  config.pipeline.strategy = "no-such-strategy";
+  EXPECT_THROW(sweep_layer_sizes(testing::blocked_reuse_program(), config),
+               std::out_of_range);
+}
+
+TEST(Sweep, PlatformModelsFlowFromPipelineConfig) {
+  // The sweep shares the pipeline's platform: pricier SDRAM accesses must
+  // show up in every sample (no silently diverging sweep-local models).
+  SweepConfig cheap;
+  cheap.l1_sizes = {1024};
+  cheap.l2_sizes = {0};
+  SweepConfig pricey = cheap;
+  pricey.pipeline.platform.sdram.read_energy_nj *= 10.0;
+  pricey.pipeline.platform.sdram.write_energy_nj *= 10.0;
+  auto a = sweep_layer_sizes(testing::blocked_reuse_program(), cheap);
+  auto b = sweep_layer_sizes(testing::blocked_reuse_program(), pricey);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_GT(b[0].point.energy_nj, a[0].point.energy_nj);
 }
 
 TEST(Sweep, FrontierIsSubsetOfSamples) {
