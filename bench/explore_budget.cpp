@@ -1,0 +1,73 @@
+// Adaptive exploration vs the fixed grid: the paper's trade-off exploration
+// "is able to find all the optimal trade-off points" — this bench shows the
+// adaptive xplore::Explorer recovering the fixed default_sweep() frontier
+// with a fraction of its pipeline evaluations, and times both drivers.
+
+#include "bench_common.h"
+
+#include "explore/explorer.h"
+
+namespace {
+
+using namespace mhla;
+
+/// Apps featured by the comparison and the timers (indexable for
+/// BENCHMARK Arg; names, not registry positions, select the workload).
+constexpr const char* kBenchApps[] = {"cavity_detection", "jpeg_compress", "fft_filter"};
+
+void print_comparison(const std::string& name) {
+  ir::Program program = apps::build_app(name);
+
+  xplore::SweepConfig grid = xplore::default_sweep();
+  std::vector<xplore::SweepSample> samples = xplore::sweep_layer_sizes(program, grid);
+  std::vector<xplore::TradeoffPoint> grid_front = xplore::frontier(samples);
+
+  xplore::ExplorerConfig config = xplore::default_explorer();
+  config.budget = samples.size() / 2;  // half the full grid
+  xplore::Explorer explorer(config);
+  xplore::ExploreResult adaptive = explorer.run(program);
+
+  std::cout << "--- " << name << " ---\n"
+            << "fixed grid:  " << samples.size() << " evaluations, frontier "
+            << grid_front.size() << " points\n"
+            << "explorer:    " << adaptive.evaluations << " evaluations ("
+            << adaptive.rounds << " rounds), frontier " << adaptive.frontier.size()
+            << " points, covers grid frontier: "
+            << (xplore::frontier_covers(adaptive.frontier, grid_front) ? "yes" : "NO") << "\n\n";
+}
+
+void print_explore_budget() {
+  bench::print_header("Adaptive exploration under budget",
+                      "finds the optimal trade-off points at a fraction of the grid cost");
+  for (const char* name : kBenchApps) print_comparison(name);
+}
+
+void BM_FixedGrid(benchmark::State& state) {
+  ir::Program program = apps::build_app(kBenchApps[state.range(0)]);
+  xplore::SweepConfig config = xplore::default_sweep();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xplore::sweep_layer_sizes(program, config));
+  }
+  state.SetLabel(kBenchApps[state.range(0)]);
+}
+BENCHMARK(BM_FixedGrid)->Arg(0)->Arg(2);
+
+void BM_AdaptiveExplorer(benchmark::State& state) {
+  ir::Program program = apps::build_app(kBenchApps[state.range(0)]);
+  xplore::ExplorerConfig config = xplore::default_explorer();
+  xplore::Explorer explorer(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explorer.run(program));
+  }
+  state.SetLabel(kBenchApps[state.range(0)]);
+}
+BENCHMARK(BM_AdaptiveExplorer)->Arg(0)->Arg(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_explore_budget();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

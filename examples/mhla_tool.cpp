@@ -17,7 +17,13 @@
 //                     unknown names list the registry)
 //   --threads <n>     worker threads for --sweep (0 = hardware)
 //   --no-dma          platform without a transfer engine (TE not applicable)
-//   --sweep           run the layer-size trade-off exploration instead
+//   --sweep           run the fixed layer-size trade-off grid instead
+//   --explore         run the adaptive design-space exploration instead
+//                     (searches the default layer-size lattice; --l1/--l2
+//                     set the single-run platform and are ignored here)
+//   --corpus          explore every registry application in one invocation
+//   --budget <n>      --explore/--corpus: cap on sampled cells (0 = off)
+//   --cache <file>    --explore/--corpus: persistent result cache (JSON)
 //   --dump-config     print the effective PipelineConfig JSON and exit
 //   --verbose         also print the program and the chosen assignment
 //   --json            machine-readable result (strategy, timings, points)
@@ -32,6 +38,8 @@
 #include "core/json_report.h"
 #include "core/pipeline.h"
 #include "core/report_table.h"
+#include "explore/corpus.h"
+#include "explore/explorer.h"
 #include "explore/sweep.h"
 #include "ir/printer.h"
 #include "ir/serialize.h"
@@ -46,6 +54,10 @@ struct Options {
   std::string dump_app;
   core::PipelineConfig pipeline;
   bool sweep = false;
+  bool explore = false;
+  bool corpus = false;
+  long long budget = 0;
+  std::string cache;
   bool dump_config = false;
   bool verbose = false;
   bool json = false;
@@ -56,7 +68,8 @@ int usage(const char* argv0) {
             << " (--app <name> | --file <path.mhla> | --dump-app <name>)\n"
                "       [--config <file.json>] [--l1 <bytes>] [--l2 <bytes>]\n"
                "       [--target energy|time|balanced] [--strategy <name>] [--threads <n>]\n"
-               "       [--no-dma] [--sweep] [--dump-config] [--verbose] [--json]\n\n"
+               "       [--no-dma] [--sweep] [--explore] [--corpus] [--budget <n>]\n"
+               "       [--cache <file.json>] [--dump-config] [--verbose] [--json]\n\n"
                "strategies:\n";
   for (const std::string& name : assign::searcher_names()) {
     std::cerr << "  " << name << " — " << assign::searcher(name).description() << "\n";
@@ -118,6 +131,15 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.pipeline.dma.present = false;
     } else if (arg == "--sweep") {
       options.sweep = true;
+    } else if (arg == "--explore") {
+      options.explore = true;
+    } else if (arg == "--corpus") {
+      options.corpus = true;
+    } else if (arg == "--budget") {
+      options.budget = std::stoll(next());
+      if (options.budget < 0) throw std::invalid_argument("--budget must be >= 0");
+    } else if (arg == "--cache") {
+      options.cache = next();
     } else if (arg == "--dump-config") {
       options.dump_config = true;
     } else if (arg == "--verbose") {
@@ -128,8 +150,14 @@ bool parse_args(int argc, char** argv, Options& options) {
       throw std::invalid_argument("unknown option '" + arg + "'");
     }
   }
-  return options.dump_config || !options.app.empty() || !options.file.empty() ||
-         !options.dump_app.empty();
+  if (options.sweep + options.explore + options.corpus > 1) {
+    throw std::invalid_argument("--sweep, --explore and --corpus are mutually exclusive");
+  }
+  if (options.corpus && (!options.app.empty() || !options.file.empty())) {
+    throw std::invalid_argument("--corpus explores every registry app; drop --app/--file");
+  }
+  return options.dump_config || options.corpus || !options.app.empty() ||
+         !options.file.empty() || !options.dump_app.empty();
 }
 
 ir::Program load_program(const Options& options) {
@@ -158,6 +186,53 @@ void run_sweep(const ir::Program& program, const Options& options) {
   std::cout << table.str();
 }
 
+xplore::ExplorerConfig explorer_config(const Options& options) {
+  xplore::ExplorerConfig config = xplore::default_explorer();
+  config.pipeline = options.pipeline;
+  config.budget = static_cast<std::size_t>(options.budget);
+  config.cache_path = options.cache;
+  return config;
+}
+
+void print_explore_report(const xplore::ExploreResult& result) {
+  std::cout << "evaluated " << result.evaluations << " of " << result.lattice_cells
+            << " lattice cells (" << result.cache_hits << " cache hits, " << result.rounds
+            << " rounds" << (result.converged ? ", converged" : "")
+            << (result.budget_exhausted ? ", budget exhausted" : "") << "); Pareto frontier:\n";
+  core::Table table({"L1", "L2", "cycles", "energy nJ"});
+  for (const xplore::TradeoffPoint& p : result.frontier) {
+    table.add_row({std::to_string(p.l1_bytes), std::to_string(p.l2_bytes),
+                   core::Table::num(p.cycles, 0), core::Table::num(p.energy_nj, 0)});
+  }
+  std::cout << table.str();
+}
+
+void run_explore(const ir::Program& program, const Options& options) {
+  xplore::Explorer explorer(explorer_config(options));
+  xplore::ExploreResult result = explorer.run(program);
+  if (options.json) {
+    std::cout << xplore::to_json(result) << "\n";
+    return;
+  }
+  print_explore_report(result);
+}
+
+void run_corpus(const Options& options) {
+  xplore::CorpusConfig config;
+  config.explorer = explorer_config(options);
+  xplore::CorpusResult result = xplore::explore_corpus(config);
+  if (options.json) {
+    std::cout << xplore::to_json(result) << "\n";
+    return;
+  }
+  for (const xplore::CorpusEntry& entry : result.entries) {
+    std::cout << "--- " << entry.program << " ---\n";
+    print_explore_report(entry.result);
+  }
+  std::cout << "corpus total: " << result.evaluations << " evaluations, " << result.cache_hits
+            << " cache hits\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -175,11 +250,20 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (options.corpus) {
+      run_corpus(options);
+      return 0;
+    }
+
     ir::Program program = load_program(options);
     if (options.verbose) std::cout << ir::to_string(program) << "\n";
 
     if (options.sweep) {
       run_sweep(program, options);
+      return 0;
+    }
+    if (options.explore) {
+      run_explore(program, options);
       return 0;
     }
 

@@ -66,6 +66,18 @@ ExhaustiveOptions to_exhaustive_options(const SearchOptions& options) {
   return exhaustive;
 }
 
+AnnealOptions to_anneal_options(const SearchOptions& options) {
+  AnnealOptions anneal;
+  anneal.energy_weight = options.energy_weight;
+  anneal.time_weight = options.time_weight;
+  anneal.iterations = options.anneal_iterations;
+  anneal.seed = options.anneal_seed;
+  anneal.initial_temp = options.anneal_initial_temp;
+  anneal.cooling = options.anneal_cooling;
+  anneal.allow_array_migration = options.allow_array_migration;
+  return anneal;
+}
+
 SearchResult from_greedy(GreedyResult greedy) {
   SearchResult result;
   result.assignment = std::move(greedy.assignment);
@@ -142,6 +154,26 @@ class ExhaustiveSearcher final : public Searcher {
   Mode mode_;
 };
 
+/// Seeded simulated annealing (assign/anneal.h).  Stateless across calls:
+/// every walk re-seeds from the options, so one registered instance serves
+/// parallel sweeps and explorations deterministically.
+class AnnealSearcher final : public Searcher {
+ public:
+  std::string name() const override { return "anneal"; }
+  std::string description() const override {
+    return "seeded simulated annealing over the cost-engine move set";
+  }
+
+  SearchResult search(const AssignContext& ctx, const SearchOptions& options) const override {
+    AnnealResult anneal = anneal_assign(ctx, to_anneal_options(options));
+    SearchResult result;
+    result.assignment = std::move(anneal.assignment);
+    result.scalar = anneal.scalar;
+    result.evaluations = anneal.evaluations;
+    return result;
+  }
+};
+
 std::map<std::string, std::unique_ptr<Searcher>>& registry() {
   static std::map<std::string, std::unique_ptr<Searcher>> searchers = [] {
     std::map<std::string, std::unique_ptr<Searcher>> built_in;
@@ -159,6 +191,7 @@ std::map<std::string, std::unique_ptr<Searcher>>& registry() {
     add(std::make_unique<ExhaustiveSearcher>(
         "exhaustive-ref", "from-scratch exhaustive reference enumeration",
         ExhaustiveSearcher::Mode::Reference));
+    add(std::make_unique<AnnealSearcher>());
     return built_in;
   }();
   return searchers;

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "assign/anneal.h"
 #include "assign/exhaustive.h"
 #include "assign/greedy.h"
 
@@ -41,6 +42,14 @@ struct SearchOptions {
   int max_moves = 100000;        ///< greedy: safety bound on accepted moves
   long max_states = 2'000'000;   ///< exhaustive: hard bound on evaluated states
   bool allow_array_migration = true;  ///< consider moving whole arrays on-chip
+
+  /// "anneal" knobs (see AnnealOptions for semantics).  The seed is part of
+  /// the options on purpose: a config document pins the whole stochastic
+  /// walk, so annealing results reproduce bit-identically from a file.
+  int anneal_iterations = 2000;
+  std::uint32_t anneal_seed = 1;
+  double anneal_initial_temp = 0.05;
+  double anneal_cooling = 0.997;
 
   /// Engine toggles (see GreedyOptions / ExhaustiveOptions for semantics).
   /// The "-ref" registry strategies and "bnb" override these; "greedy" and
@@ -81,7 +90,8 @@ class Searcher {
   virtual SearchResult search(const AssignContext& ctx, const SearchOptions& options) const = 0;
 };
 
-/// Registered strategy names, sorted.  Built-ins: "greedy" (engine-backed
+/// Registered strategy names, sorted.  Built-ins: "anneal" (seeded
+/// simulated annealing on the cost engine), "greedy" (engine-backed
 /// steering heuristic), "greedy-ref" (from-scratch reference), "bnb"
 /// (branch-and-bound exhaustive), "exhaustive" (engine enumeration honoring
 /// the toggles), "exhaustive-ref" (from-scratch enumeration).
@@ -90,6 +100,10 @@ std::vector<std::string> searcher_names();
 /// Look up a strategy by name; throws std::out_of_range whose message lists
 /// every registered name (surfaced verbatim by the CLI tool).
 const Searcher& searcher(const std::string& name);
+
+/// Factory-style alias for `searcher(name)`.  The exploration subsystem and
+/// its docs refer to strategies through this name.
+inline const Searcher& make_searcher(const std::string& name) { return searcher(name); }
 
 /// Register a custom strategy (replaces any previous entry with the same
 /// name).  Not thread-safe against concurrent lookups; register during

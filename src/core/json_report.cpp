@@ -24,19 +24,9 @@ std::ostringstream c_stream() {
   return out;
 }
 
-std::string num(double value) {
-  std::ostringstream out = c_stream();
-  out << std::setprecision(15) << value;
-  return out.str();
-}
-
-/// Round-trip-exact double formatting (max_digits10): parsing gives back
-/// the identical bits, which the config round-trip contract relies on.
-std::string num_exact(double value) {
-  std::ostringstream out = c_stream();
-  out << std::setprecision(17) << value;
-  return out.str();
-}
+/// Local shorthands for the public formatters.
+std::string num(double value) { return json_number(value); }
+std::string num_exact(double value) { return json_number_exact(value); }
 
 std::string bool_text(bool value) { return value ? "true" : "false"; }
 
@@ -118,6 +108,18 @@ ir::i64 as_i64(const Json& j) { return as_integer<ir::i64>(j); }
 unsigned as_unsigned(const Json& j) { return as_integer<unsigned>(j); }
 
 }  // namespace
+
+std::string json_number(double value) {
+  std::ostringstream out = c_stream();
+  out << std::setprecision(15) << value;
+  return out.str();
+}
+
+std::string json_number_exact(double value) {
+  std::ostringstream out = c_stream();
+  out << std::setprecision(17) << value;
+  return out.str();
+}
 
 std::string json_escape(const std::string& text) {
   std::string out;
@@ -258,7 +260,11 @@ std::string to_json(const PipelineConfig& config, int indent) {
       << ", \"max_moves\": " << search.max_moves << ", \"max_states\": " << search.max_states
       << ", \"allow_array_migration\": " << bool_text(search.allow_array_migration)
       << ", \"use_cost_engine\": " << bool_text(search.use_cost_engine)
-      << ", \"use_branch_and_bound\": " << bool_text(search.use_branch_and_bound) << "},\n";
+      << ", \"use_branch_and_bound\": " << bool_text(search.use_branch_and_bound)
+      << ",\n" << p1 << "             \"anneal_iterations\": " << search.anneal_iterations
+      << ", \"anneal_seed\": " << search.anneal_seed
+      << ", \"anneal_initial_temp\": " << num_exact(search.anneal_initial_temp)
+      << ", \"anneal_cooling\": " << num_exact(search.anneal_cooling) << "},\n";
   out << p1 << "\"te\": {\"order\": \"" << order_name(config.te.order)
       << "\", \"max_lookahead\": " << config.te.max_lookahead
       << ", \"charge_cold_start\": " << bool_text(config.te.charge_cold_start) << "},\n";
@@ -324,7 +330,11 @@ PipelineConfig pipeline_config_from_json(const std::string& text) {
                    .field("max_states", search.max_states, as_long)
                    .field("allow_array_migration", search.allow_array_migration, as_bool)
                    .field("use_cost_engine", search.use_cost_engine, as_bool)
-                   .field("use_branch_and_bound", search.use_branch_and_bound, as_bool);
+                   .field("use_branch_and_bound", search.use_branch_and_bound, as_bool)
+                   .field("anneal_iterations", search.anneal_iterations, as_int)
+                   .field("anneal_seed", search.anneal_seed, as_integer<std::uint32_t>)
+                   .field("anneal_initial_temp", search.anneal_initial_temp, as_double)
+                   .field("anneal_cooling", search.anneal_cooling, as_double);
                return search;
              })
       .field("te", config.te,

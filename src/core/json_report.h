@@ -39,4 +39,12 @@ PipelineConfig pipeline_config_from_json(const std::string& text);
 /// Escape a string for embedding in JSON.
 std::string json_escape(const std::string& text);
 
+/// Classic-locale double formatting shared by every JSON emitter in the
+/// tree (report, result cache, explorer): 15 significant digits for
+/// display values, max_digits10 for round-trip-exact storage (parsing
+/// `json_number_exact(v)` gives back v's bits — the config and cache
+/// round-trip contracts rely on it).
+std::string json_number(double value);
+std::string json_number_exact(double value);
+
 }  // namespace mhla::core

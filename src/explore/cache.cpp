@@ -1,0 +1,121 @@
+#include "explore/cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/json.h"
+#include "core/json_report.h"
+
+namespace mhla::xplore {
+
+namespace {
+
+std::string hex_key(std::uint64_t key) {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out << std::hex << std::setw(16) << std::setfill('0') << key;
+  return out.str();
+}
+
+std::uint64_t parse_hex_key(const std::string& text) {
+  if (text.size() != 16 || text.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    throw std::invalid_argument("cache key '" + text + "' is not 16 lowercase hex digits");
+  }
+  return std::stoull(text, nullptr, 16);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+ResultCache ResultCache::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    // Only a file that does not exist means a cold cache.  An existing but
+    // unreadable one must not: proceeding cold and saving later would
+    // truncate away every previously accumulated entry.
+    if (!std::filesystem::exists(path)) return ResultCache{};
+    throw std::runtime_error("result cache '" + path + "' exists but cannot be read");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return from_json(text.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("result cache '" + path + "': " + e.what());
+  }
+}
+
+void ResultCache::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write result cache '" + path + "'");
+  out << to_json() << "\n";
+  if (!out) throw std::runtime_error("failed writing result cache '" + path + "'");
+}
+
+ResultCache ResultCache::from_json(const std::string& text) {
+  core::Json document = core::Json::parse(text);
+  std::int64_t version = document.at("version").integer();
+  if (version != 1) {
+    throw std::invalid_argument("unsupported cache version " + std::to_string(version));
+  }
+  ResultCache cache;
+  for (const core::Json& item : document.at("entries").array()) {
+    Entry entry;
+    entry.l1_bytes = item.at("l1_bytes").integer();
+    entry.l2_bytes = item.at("l2_bytes").integer();
+    entry.strategy = item.at("strategy").string();
+    entry.with_te = item.at("with_te").boolean();
+    entry.cycles = item.at("cycles").number();
+    entry.energy_nj = item.at("energy_nj").number();
+    cache.entries_[parse_hex_key(item.at("key").string())] = std::move(entry);
+  }
+  return cache;
+}
+
+std::string ResultCache::to_json(int indent) const {
+  std::string p0(static_cast<std::size_t>(indent) * 2, ' ');
+  std::string p1 = p0 + "  ";
+  std::string p2 = p1 + "  ";
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out << p0 << "{\n" << p1 << "\"version\": 1,\n" << p1 << "\"entries\": [";
+  bool first = true;
+  for (const auto& [key, entry] : entries_) {  // std::map: sorted, byte-stable
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << p2 << "{\"key\": \"" << hex_key(key) << "\", \"l1_bytes\": " << entry.l1_bytes
+        << ", \"l2_bytes\": " << entry.l2_bytes << ", \"strategy\": \""
+        << core::json_escape(entry.strategy) << "\", \"with_te\": "
+        << (entry.with_te ? "true" : "false")
+        << ", \"cycles\": " << core::json_number_exact(entry.cycles)
+        << ", \"energy_nj\": " << core::json_number_exact(entry.energy_nj) << "}";
+  }
+  out << (first ? "" : "\n" + p1) << "]\n" << p0 << "}";
+  return out.str();
+}
+
+const ResultCache::Entry* ResultCache::find(std::uint64_t key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void ResultCache::insert(std::uint64_t key, Entry entry) {
+  entries_[key] = std::move(entry);
+}
+
+void ResultCache::merge_from(const ResultCache& other) {
+  for (const auto& [key, entry] : other.entries_) entries_[key] = entry;
+}
+
+}  // namespace mhla::xplore

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "explore/pareto.h"
+
+namespace mhla::xplore {
+
+/// FNV-1a 64-bit hash of `text` — the canonical cache key primitive.  The
+/// explorer hashes the serialized program plus the cell's effective
+/// PipelineConfig JSON (thread count zeroed: parallelism must never change
+/// a key), so any change to the program, the platform models, the strategy
+/// or its options yields a fresh key and a stale cache can never serve it.
+std::uint64_t fnv1a64(const std::string& text);
+
+/// Persistent store of evaluated design-space cells (see explore/explorer.h),
+/// JSON on disk.  One entry per canonical key carries the cell coordinates
+/// (for human inspection and report tooling) and the measured cost pair,
+/// emitted with max_digits10 so a reloaded entry reproduces the evaluated
+/// doubles bit for bit — a warm re-exploration returns the identical
+/// frontier with zero pipeline runs.
+///
+/// Single-writer by design: `load` + `save` rewrite the whole document.
+/// Concurrent explorations over one file should shard to distinct paths and
+/// merge afterwards (`merge_from`).
+class ResultCache {
+ public:
+  struct Entry {
+    i64 l1_bytes = 0;
+    i64 l2_bytes = 0;
+    std::string strategy;
+    bool with_te = false;
+    double cycles = 0.0;
+    double energy_nj = 0.0;
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  /// Load from `path`; a missing file is an empty cache, a malformed one
+  /// throws std::invalid_argument naming the path.
+  static ResultCache load(const std::string& path);
+
+  /// Rewrite `path` with every entry (sorted by key — byte-stable output).
+  /// Throws std::runtime_error when the file cannot be written.
+  void save(const std::string& path) const;
+
+  /// JSON round-trip used by load/save; exposed for tests and tooling.
+  static ResultCache from_json(const std::string& text);
+  std::string to_json(int indent = 0) const;
+
+  const Entry* find(std::uint64_t key) const;
+  void insert(std::uint64_t key, Entry entry);
+
+  /// Adopt every entry of `other` (other wins on key collisions).
+  void merge_from(const ResultCache& other);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::map<std::uint64_t, Entry>& entries() const { return entries_; }
+
+ private:
+  std::map<std::uint64_t, Entry> entries_;
+};
+
+}  // namespace mhla::xplore

@@ -1,0 +1,375 @@
+#include "explore/explorer.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/json_report.h"
+#include "core/parallel_for.h"
+#include "ir/serialize.h"
+
+namespace mhla::xplore {
+
+namespace {
+
+/// Lattice coordinates of one cell, in the canonical evaluation order
+/// (strategy, TE variant, L2, L1) — the order every wave is emitted in, so
+/// results are identical for any thread count.
+struct CellIdx {
+  std::size_t strat = 0;
+  std::size_t te = 0;
+  std::size_t l2 = 0;
+  std::size_t l1 = 0;
+
+  friend auto operator<=>(const CellIdx&, const CellIdx&) = default;
+};
+
+/// Seed indices of one axis: every `stride`-th point plus the last.
+std::vector<std::size_t> seed_indices(std::size_t n, std::size_t stride) {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < n; i += stride) indices.push_back(i);
+  if (indices.back() != n - 1) indices.push_back(n - 1);
+  return indices;
+}
+
+}  // namespace
+
+Explorer::Explorer(ExplorerConfig config) : config_(std::move(config)) {
+  if (config_.strategies.empty()) config_.strategies = {config_.pipeline.strategy};
+  // First-occurrence dedup (the order is the axis order, so no sort).
+  std::vector<std::string> strategies;
+  for (const std::string& name : config_.strategies) {
+    assign::searcher(name);  // fail fast, listing the registry
+    if (std::find(strategies.begin(), strategies.end(), name) == strategies.end()) {
+      strategies.push_back(name);
+    }
+  }
+  config_.strategies = std::move(strategies);
+  auto canonicalize = [](std::vector<i64>& axis, const char* which) {
+    std::sort(axis.begin(), axis.end());
+    axis.erase(std::unique(axis.begin(), axis.end()), axis.end());
+    if (axis.empty()) {
+      throw std::invalid_argument(std::string("explorer: empty ") + which + " axis");
+    }
+    if (axis.front() < 0) {
+      throw std::invalid_argument(std::string("explorer: negative ") + which + " size");
+    }
+  };
+  canonicalize(config_.l1_axis, "l1");
+  canonicalize(config_.l2_axis, "l2");
+  if (config_.seed_stride == 0) {
+    throw std::invalid_argument("explorer: seed_stride must be >= 1");
+  }
+}
+
+ExploreResult Explorer::run(const ir::Program& program) const {
+  ResultCache cache =
+      config_.cache_path.empty() ? ResultCache{} : ResultCache::load(config_.cache_path);
+  ExploreResult result = run(program, cache);
+  // Only evaluations add entries; a fully-warm replay leaves the file alone.
+  if (!config_.cache_path.empty() && result.evaluations > 0) cache.save(config_.cache_path);
+  return result;
+}
+
+ExploreResult Explorer::run(const ir::Program& program, ResultCache& cache) const {
+  const std::vector<i64>& l1_axis = config_.l1_axis;
+  const std::vector<i64>& l2_axis = config_.l2_axis;
+  // Without a transfer engine the TE axis cannot change any result (the
+  // simulation mode is `with_te && dma.present`), so it collapses.
+  const std::vector<bool> te_variants =
+      config_.explore_te && config_.pipeline.dma.present ? std::vector<bool>{false, true}
+                                                         : std::vector<bool>{true};
+
+  assign::SearchOptions search = config_.pipeline.search;
+  search.set_target(config_.pipeline.target);
+
+  // Program-level analyses are hierarchy independent; run them once and
+  // share them read-only across the worker pool (same as the fixed sweep).
+  std::vector<analysis::AccessSite> sites = analysis::collect_sites(program);
+  analysis::ReuseAnalysis reuse = analysis::ReuseAnalysis::run(program, sites);
+  std::map<std::string, analysis::LiveRange> live = analysis::array_live_ranges(program, sites);
+  analysis::DependenceInfo deps = analysis::DependenceInfo::run(program, sites);
+
+  const std::string program_text = ir::serialize(program);
+
+  auto cell_of = [&](const CellIdx& idx) {
+    DesignCell cell;
+    cell.l1_bytes = l1_axis[idx.l1];
+    cell.l2_bytes = l2_axis[idx.l2];
+    cell.strategy = config_.strategies[idx.strat];
+    cell.with_te = te_variants[idx.te];
+    return cell;
+  };
+  auto key_of = [&](const DesignCell& cell) {
+    // The key covers everything that determines the cell's cost pair: the
+    // program text and the *effective* pipeline document of the cell.  The
+    // thread count is zeroed — parallelism must never change a key.
+    core::PipelineConfig effective = config_.pipeline;
+    effective.platform.l1_bytes = cell.l1_bytes;
+    effective.platform.l2_bytes = cell.l2_bytes;
+    effective.strategy = cell.strategy;
+    effective.num_threads = 0;
+    return fnv1a64(program_text + '\x1f' + core::to_json(effective) + '\x1f' +
+                   (cell.with_te ? "te" : "blocking"));
+  };
+  auto evaluate = [&](const DesignCell& cell) {
+    mem::PlatformConfig platform = config_.pipeline.platform;
+    platform.l1_bytes = cell.l1_bytes;
+    platform.l2_bytes = cell.l2_bytes;
+    mem::Hierarchy hierarchy = mem::make_hierarchy(platform);
+    assign::AssignContext ctx{program, sites, reuse,
+                              live,    deps,  hierarchy,
+                              config_.pipeline.dma};
+    const assign::Searcher& strategy = assign::searcher(cell.strategy);
+    assign::SearchResult found = strategy.search(ctx, search);
+
+    sim::SimOptions sim_options;
+    sim_options.mode = cell.with_te && config_.pipeline.dma.present
+                           ? te::TransferMode::TimeExtended
+                           : te::TransferMode::Blocking;
+    sim_options.te = config_.pipeline.te;
+    sim::SimResult sim = sim::simulate(ctx, found.assignment, sim_options);
+
+    TradeoffPoint point;
+    point.l1_bytes = cell.l1_bytes;
+    point.l2_bytes = cell.l2_bytes;
+    point.cycles = sim.total_cycles();
+    point.energy_nj = sim.energy_nj;
+    return point;
+  };
+
+  ExploreResult result;
+  result.lattice_cells =
+      l1_axis.size() * l2_axis.size() * config_.strategies.size() * te_variants.size();
+
+  std::set<CellIdx> scheduled;  ///< seeded or queued for refinement
+  std::set<CellIdx> sampled;    ///< has a sample (evaluated or cache-served)
+  std::vector<CellIdx> sample_idx;  ///< aligned with result.samples
+
+  // Seed wave: the coarse sub-grid, in canonical order.
+  std::vector<CellIdx> wave;
+  for (std::size_t s = 0; s < config_.strategies.size(); ++s) {
+    for (std::size_t t = 0; t < te_variants.size(); ++t) {
+      for (std::size_t j : seed_indices(l2_axis.size(), config_.seed_stride)) {
+        for (std::size_t i : seed_indices(l1_axis.size(), config_.seed_stride)) {
+          CellIdx idx{s, t, j, i};
+          if (scheduled.insert(idx).second) wave.push_back(idx);
+        }
+      }
+    }
+  }
+  std::sort(wave.begin(), wave.end());
+
+  while (!wave.empty()) {
+    // The budget truncates the wave itself (canonical order), cache hits
+    // included, so the sample sequence is a pure function of the config —
+    // a warm cache replays it with fewer (or zero) pipeline runs.
+    if (config_.budget != 0) {
+      std::size_t remaining = config_.budget - result.samples.size();
+      if (wave.size() > remaining) {
+        wave.resize(remaining);
+        result.budget_exhausted = true;
+        if (wave.empty()) break;  // budget landed exactly on a wave boundary
+      }
+    }
+    ++result.rounds;
+    const std::size_t prev_count = result.samples.size();
+
+    // Serve what the cache already knows; collect the rest for evaluation.
+    std::vector<ExploreSample> wave_samples(wave.size());
+    std::vector<std::uint64_t> keys(wave.size());
+    std::vector<std::size_t> pending;
+    for (std::size_t w = 0; w < wave.size(); ++w) {
+      DesignCell cell = cell_of(wave[w]);
+      keys[w] = key_of(cell);
+      if (const ResultCache::Entry* entry = cache.find(keys[w])) {
+        ExploreSample& sample = wave_samples[w];
+        sample.cell = std::move(cell);
+        sample.point.l1_bytes = sample.cell.l1_bytes;
+        sample.point.l2_bytes = sample.cell.l2_bytes;
+        sample.point.cycles = entry->cycles;
+        sample.point.energy_nj = entry->energy_nj;
+        sample.from_cache = true;
+        ++result.cache_hits;
+      } else {
+        wave_samples[w].cell = std::move(cell);
+        pending.push_back(w);
+      }
+    }
+
+    core::parallel_for(pending.size(), config_.pipeline.num_threads, [&](std::size_t p) {
+      std::size_t w = pending[p];
+      wave_samples[w].point = evaluate(wave_samples[w].cell);
+    });
+    result.evaluations += pending.size();
+
+    for (std::size_t p = 0; p < pending.size(); ++p) {
+      std::size_t w = pending[p];
+      const ExploreSample& sample = wave_samples[w];
+      ResultCache::Entry entry;
+      entry.l1_bytes = sample.cell.l1_bytes;
+      entry.l2_bytes = sample.cell.l2_bytes;
+      entry.strategy = sample.cell.strategy;
+      entry.with_te = sample.cell.with_te;
+      entry.cycles = sample.point.cycles;
+      entry.energy_nj = sample.point.energy_nj;
+      cache.insert(keys[w], std::move(entry));
+    }
+
+    for (std::size_t w = 0; w < wave.size(); ++w) {
+      sampled.insert(wave[w]);
+      sample_idx.push_back(wave[w]);
+      result.samples.push_back(std::move(wave_samples[w]));
+    }
+
+    // A round improves when some new sample escapes (epsilon-)dominance by
+    // everything known before the round.
+    const double eps = config_.convergence_epsilon;
+    bool improved = false;
+    for (std::size_t n = prev_count; n < result.samples.size() && !improved; ++n) {
+      const TradeoffPoint& s = result.samples[n].point;
+      bool covered = false;
+      for (std::size_t o = 0; o < prev_count && !covered; ++o) {
+        const TradeoffPoint& old = result.samples[o].point;
+        covered = old.cycles <= s.cycles * (1.0 + eps) &&
+                  old.energy_nj <= s.energy_nj * (1.0 + eps);
+      }
+      improved = !covered;
+    }
+
+    std::vector<TradeoffPoint> points;
+    points.reserve(result.samples.size());
+    for (const ExploreSample& sample : result.samples) points.push_back(sample.point);
+    result.frontier = pareto_front(std::move(points));
+
+    // Re-attach the full cell coordinates (first sample matching each kept
+    // point — frontier points are sample points, so a match always exists).
+    result.frontier_cells.clear();
+    for (const TradeoffPoint& f : result.frontier) {
+      for (const ExploreSample& sample : result.samples) {
+        if (sample.point.l1_bytes == f.l1_bytes && sample.point.l2_bytes == f.l2_bytes &&
+            sample.point.cycles == f.cycles && sample.point.energy_nj == f.energy_nj) {
+          result.frontier_cells.push_back(sample.cell);
+          break;
+        }
+      }
+    }
+
+    if (result.budget_exhausted) break;
+    if (!improved) {
+      result.converged = true;
+      break;
+    }
+
+    // Refinement wave: bisect the axis gaps between every frontier member
+    // and its nearest sampled neighbor, both directions, both size axes.
+    auto on_frontier = [&](const TradeoffPoint& p) {
+      return std::any_of(result.frontier.begin(), result.frontier.end(),
+                         [&](const TradeoffPoint& f) {
+                           return f.cycles == p.cycles && f.energy_nj == p.energy_nj;
+                         });
+    };
+    std::set<CellIdx> next;
+    auto bisect_axis = [&](const CellIdx& idx, bool along_l1) {
+      std::size_t at = along_l1 ? idx.l1 : idx.l2;
+      std::size_t size = along_l1 ? l1_axis.size() : l2_axis.size();
+      auto with = [&](std::size_t v) {
+        CellIdx c = idx;
+        (along_l1 ? c.l1 : c.l2) = v;
+        return c;
+      };
+      auto propose = [&](std::size_t mid) {
+        CellIdx c = with(mid);
+        if (mid != at && !scheduled.contains(c)) {
+          scheduled.insert(c);
+          next.insert(c);
+        }
+      };
+      // Bisect toward the nearest sampled neighbor in each direction; a
+      // direction with no sample yet (a freshly bisected row of the other
+      // axis) probes half-way toward the axis boundary instead, so new rows
+      // fill in around their frontier member instead of stalling.
+      bool found_lo = false;
+      for (std::size_t lo = at; lo-- > 0;) {
+        if (sampled.contains(with(lo))) {
+          if (at - lo >= 2) propose((at + lo) / 2);
+          found_lo = true;
+          break;
+        }
+      }
+      if (!found_lo && at > 0) propose(at / 2);
+      bool found_hi = false;
+      for (std::size_t hi = at + 1; hi < size; ++hi) {
+        if (sampled.contains(with(hi))) {
+          if (hi - at >= 2) propose((at + hi) / 2);
+          found_hi = true;
+          break;
+        }
+      }
+      if (!found_hi && at + 1 < size) propose((at + size - 1) / 2);
+    };
+    for (std::size_t n = 0; n < result.samples.size(); ++n) {
+      if (!on_frontier(result.samples[n].point)) continue;
+      bisect_axis(sample_idx[n], true);
+      bisect_axis(sample_idx[n], false);
+    }
+    wave.assign(next.begin(), next.end());
+  }
+
+  return result;
+}
+
+ExplorerConfig default_explorer() {
+  ExplorerConfig config;
+  for (i64 size = 256; size <= 64 * 1024; size *= 2) config.l1_axis.push_back(size);
+  config.l2_axis = {0, 64 * 1024, 256 * 1024};
+  return config;
+}
+
+std::string to_json(const ExploreResult& result, int indent) {
+  std::string p0(static_cast<std::size_t>(indent) * 2, ' ');
+  std::string p1 = p0 + "  ";
+  std::string p2 = p1 + "  ";
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out << p0 << "{\n";
+  out << p1 << "\"lattice_cells\": " << result.lattice_cells << ",\n";
+  out << p1 << "\"evaluations\": " << result.evaluations << ",\n";
+  out << p1 << "\"cache_hits\": " << result.cache_hits << ",\n";
+  out << p1 << "\"rounds\": " << result.rounds << ",\n";
+  out << p1 << "\"budget_exhausted\": " << (result.budget_exhausted ? "true" : "false") << ",\n";
+  out << p1 << "\"converged\": " << (result.converged ? "true" : "false") << ",\n";
+  out << p1 << "\"samples\": [";
+  for (std::size_t i = 0; i < result.samples.size(); ++i) {
+    const ExploreSample& sample = result.samples[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << p2 << "{\"l1_bytes\": " << sample.cell.l1_bytes
+        << ", \"l2_bytes\": " << sample.cell.l2_bytes << ", \"strategy\": \""
+        << core::json_escape(sample.cell.strategy) << "\", \"with_te\": "
+        << (sample.cell.with_te ? "true" : "false") << ", \"from_cache\": "
+        << (sample.from_cache ? "true" : "false")
+        << ", \"cycles\": " << core::json_number(sample.point.cycles)
+        << ", \"energy_nj\": " << core::json_number(sample.point.energy_nj) << "}";
+  }
+  out << (result.samples.empty() ? "" : "\n" + p1) << "],\n";
+  out << p1 << "\"frontier\": [";
+  for (std::size_t i = 0; i < result.frontier.size(); ++i) {
+    const TradeoffPoint& point = result.frontier[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << p2 << "{\"l1_bytes\": " << point.l1_bytes << ", \"l2_bytes\": " << point.l2_bytes;
+    if (i < result.frontier_cells.size()) {
+      const DesignCell& cell = result.frontier_cells[i];
+      out << ", \"strategy\": \"" << core::json_escape(cell.strategy)
+          << "\", \"with_te\": " << (cell.with_te ? "true" : "false");
+    }
+    out << ", \"cycles\": " << core::json_number(point.cycles)
+        << ", \"energy_nj\": " << core::json_number(point.energy_nj) << "}";
+  }
+  out << (result.frontier.empty() ? "" : "\n" + p1) << "]\n";
+  out << p0 << "}";
+  return out.str();
+}
+
+}  // namespace mhla::xplore

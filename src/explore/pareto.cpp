@@ -30,4 +30,13 @@ std::vector<TradeoffPoint> pareto_front(std::vector<TradeoffPoint> points) {
   return front;
 }
 
+bool frontier_covers(const std::vector<TradeoffPoint>& candidate,
+                     const std::vector<TradeoffPoint>& reference) {
+  return std::all_of(reference.begin(), reference.end(), [&](const TradeoffPoint& r) {
+    return std::any_of(candidate.begin(), candidate.end(), [&](const TradeoffPoint& c) {
+      return c.cycles <= r.cycles && c.energy_nj <= r.energy_nj;
+    });
+  });
+}
+
 }  // namespace mhla::xplore

@@ -28,4 +28,10 @@ struct TradeoffPoint {
 /// ascending cycles.  Duplicate-cost points keep the smallest configuration.
 std::vector<TradeoffPoint> pareto_front(std::vector<TradeoffPoint> points);
 
+/// True iff every point of `reference` is dominated-or-equaled by some point
+/// of `candidate` — the "found everything the other exploration found" check
+/// the explorer's acceptance tests and benches share.
+bool frontier_covers(const std::vector<TradeoffPoint>& candidate,
+                     const std::vector<TradeoffPoint>& reference);
+
 }  // namespace mhla::xplore

@@ -1,5 +1,7 @@
 #include "explore/sweep.h"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "core/parallel_for.h"
@@ -12,6 +14,34 @@ SweepConfig default_sweep() {
   config.l2_sizes = {0, 64 * 1024, 256 * 1024};
   return config;
 }
+
+namespace {
+
+/// First-occurrence de-duplication (the grid order is caller-visible, so a
+/// sort would reorder samples).
+std::vector<i64> unique_sizes(const std::vector<i64>& sizes) {
+  std::vector<i64> unique;
+  for (i64 size : sizes) {
+    if (std::find(unique.begin(), unique.end(), size) == unique.end()) unique.push_back(size);
+  }
+  return unique;
+}
+
+/// Bytes of the cheapest object a search could place on-chip: the smallest
+/// array and the smallest non-degenerate copy-candidate box.  A bounded
+/// layer strictly below this can never hold anything.
+i64 min_placeable_bytes(const ir::Program& program, const analysis::ReuseAnalysis& reuse) {
+  i64 min_bytes = std::numeric_limits<i64>::max();
+  for (const ir::ArrayDecl& array : program.arrays()) {
+    if (array.bytes() > 0) min_bytes = std::min(min_bytes, array.bytes());
+  }
+  for (const analysis::CopyCandidate& cc : reuse.candidates()) {
+    if (cc.elems > 0 && cc.bytes > 0) min_bytes = std::min(min_bytes, cc.bytes);
+  }
+  return min_bytes;
+}
+
+}  // namespace
 
 std::vector<SweepSample> sweep_layer_sizes(const ir::Program& program, const SweepConfig& config) {
   // Resolve the strategy once (also validates the name before any work).
@@ -26,13 +56,17 @@ std::vector<SweepSample> sweep_layer_sizes(const ir::Program& program, const Swe
   std::map<std::string, analysis::LiveRange> live = analysis::array_live_ranges(program, sites);
   analysis::DependenceInfo deps = analysis::DependenceInfo::run(program, sites);
 
+  const i64 min_placeable = min_placeable_bytes(program, reuse);
+
   // Flatten the grid in the canonical (L2 outer, L1 inner) order; each cell
   // writes only its own slot, so the result is identical for any thread
   // count.
+  std::vector<i64> l1_sizes = unique_sizes(config.l1_sizes);
+  std::vector<i64> l2_sizes = unique_sizes(config.l2_sizes);
   std::vector<std::pair<i64, i64>> grid;  // (l2, l1)
-  grid.reserve(config.l2_sizes.size() * config.l1_sizes.size());
-  for (i64 l2 : config.l2_sizes) {
-    for (i64 l1 : config.l1_sizes) grid.emplace_back(l2, l1);
+  grid.reserve(l2_sizes.size() * l1_sizes.size());
+  for (i64 l2 : l2_sizes) {
+    for (i64 l1 : l1_sizes) grid.emplace_back(l2, l1);
   }
 
   std::vector<SweepSample> samples(grid.size());
@@ -45,21 +79,32 @@ std::vector<SweepSample> sweep_layer_sizes(const ir::Program& program, const Swe
 
     assign::AssignContext ctx{program, sites, reuse, live, deps, hierarchy,
                               config.pipeline.dma};
-    assign::SearchResult found = strategy.search(ctx, search);
+
+    // A cell whose every on-chip layer is below the cheapest placeable
+    // object can never leave the out-of-box assignment: no copy and no
+    // migration fits, so every strategy returns out-of-box.  Skip the
+    // search and sample the out-of-box simulation directly.
+    auto layer_useless = [&](i64 capacity) { return capacity <= 0 || capacity < min_placeable; };
+    bool provably_out_of_box =
+        config.skip_infeasible && layer_useless(l1) && layer_useless(l2);
+
+    assign::Assignment assignment = provably_out_of_box
+                                        ? assign::out_of_box(ctx)
+                                        : strategy.search(ctx, search).assignment;
 
     sim::SimOptions sim_options;
     sim_options.mode = config.with_te && config.pipeline.dma.present
                            ? te::TransferMode::TimeExtended
                            : te::TransferMode::Blocking;
     sim_options.te = config.pipeline.te;
-    sim::SimResult result = sim::simulate(ctx, found.assignment, sim_options);
+    sim::SimResult result = sim::simulate(ctx, assignment, sim_options);
 
     SweepSample& sample = samples[i];
     sample.point.l1_bytes = l1;
     sample.point.l2_bytes = l2;
     sample.point.cycles = result.total_cycles();
     sample.point.energy_nj = result.energy_nj;
-    sample.assignment = std::move(found.assignment);
+    sample.assignment = std::move(assignment);
     sample.te_applied = sim_options.mode == te::TransferMode::TimeExtended;
   });
   return samples;

@@ -1,32 +1,22 @@
-#pragma once
+#include "gen/random_program.h"
 
-// Seeded random program generator for the fuzz property tests.
-// Programs are valid by construction: array extents are computed from the
-// maximum subscript values the generated loops can produce.
-
+#include <algorithm>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ir/builder.h"
 
-namespace mhla::testing {
+namespace mhla::gen {
 
-struct RandomProgramConfig {
-  int max_nests = 3;
-  int max_depth = 3;
-  int max_arrays = 4;
-  int max_stmts_per_nest = 2;
-  int max_accesses_per_stmt = 3;
-};
-
-/// Deterministic random program for a seed.  All subscripts are affine in
-/// enclosing iterators with small coefficients; extents are sized to the
-/// exact maximum so every access is in bounds.
-inline ir::Program random_program(std::uint32_t seed, const RandomProgramConfig& config = {}) {
+ir::Program random_program(std::uint32_t seed, const RandomProgramConfig& config) {
   std::mt19937 rng(seed);
+  // Plain-modulo bounded draws: std::uniform_int_distribution's mapping is
+  // implementation-defined, and a seed must name the same program on every
+  // standard library (cache keys and corpus reports depend on it).
   auto pick = [&](int lo, int hi) {
-    return std::uniform_int_distribution<int>(lo, hi)(rng);
+    return lo + static_cast<int>(rng() % static_cast<std::uint32_t>(hi - lo + 1));
   };
 
   // --- Stage 1: plan the structure (loops, statements, accesses).
@@ -138,4 +128,4 @@ inline ir::Program random_program(std::uint32_t seed, const RandomProgramConfig&
   return pb.finish();
 }
 
-}  // namespace mhla::testing
+}  // namespace mhla::gen

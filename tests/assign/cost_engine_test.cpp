@@ -7,7 +7,7 @@
 #include "assign/exhaustive.h"
 #include "assign/greedy.h"
 #include "helpers.h"
-#include "support/random_program.h"
+#include "gen/random_program.h"
 
 namespace mhla::assign {
 namespace {
@@ -85,7 +85,7 @@ TEST(CostEngine, MigrateMatchesDropInvalidCopies) {
 /// the engine bit-identical to the from-scratch evaluation at every step.
 TEST(CostEngine, PropertyRandomApplyUndoSequences) {
   for (std::uint32_t seed = 1; seed <= 12; ++seed) {
-    ir::Program program = testing::random_program(seed);
+    ir::Program program = gen::random_program(seed);
     mem::PlatformConfig platform = testing::small_platform();
     if (seed % 3 == 0) platform.l2_bytes = 0;  // single on-chip layer
     auto ws = make_ws(std::move(program), platform);
@@ -140,7 +140,7 @@ TEST(CostEngine, PropertyRandomApplyUndoSequences) {
 /// from-scratch greedy: same moves, same evaluations, same result bits.
 TEST(CostEngine, GreedyEquivalenceOnRandomPrograms) {
   for (std::uint32_t seed = 1; seed <= 10; ++seed) {
-    auto ws = make_ws(testing::random_program(seed));
+    auto ws = make_ws(gen::random_program(seed));
     auto ctx = ws->context();
     GreedyOptions with_engine;
     GreedyOptions reference;
@@ -166,11 +166,11 @@ TEST(CostEngine, GreedyEquivalenceOnRandomPrograms) {
 TEST(CostEngine, ExhaustiveEquivalenceOnRandomPrograms) {
   int checked = 0;
   for (std::uint32_t seed = 1; seed <= 20 && checked < 5; ++seed) {
-    testing::RandomProgramConfig config;
+    gen::RandomProgramConfig config;
     config.max_nests = 2;
     config.max_depth = 2;
     config.max_arrays = 2;
-    auto ws = make_ws(testing::random_program(seed, config));
+    auto ws = make_ws(gen::random_program(seed, config));
     auto ctx = ws->context();
     std::size_t placements = ctx.reuse.candidates().size() *
                              static_cast<std::size_t>(ctx.hierarchy.background());

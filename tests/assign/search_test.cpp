@@ -115,11 +115,11 @@ TEST(Search, GreedyRefForcesTheReferencePath) {
 
 TEST(Search, UnknownNameThrowsListingTheRegistry) {
   try {
-    searcher("anneal");
+    searcher("tabu");
     FAIL() << "expected std::out_of_range";
   } catch (const std::out_of_range& e) {
     std::string message = e.what();
-    EXPECT_NE(message.find("anneal"), std::string::npos);
+    EXPECT_NE(message.find("tabu"), std::string::npos);
     for (const std::string& name : searcher_names()) {
       EXPECT_NE(message.find(name), std::string::npos) << name;
     }

@@ -1,0 +1,350 @@
+#include "explore/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "apps/registry.h"
+#include "explore/corpus.h"
+#include "explore/sweep.h"
+#include "helpers.h"
+
+namespace mhla::xplore {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+/// Small lattice over the test platform for the cheap structural tests.
+ExplorerConfig small_config() {
+  ExplorerConfig config;
+  config.l1_axis = {128, 256, 512, 1024, 2048};
+  config.l2_axis = {0, 8192};
+  return config;
+}
+
+TEST(ResultCache, JsonRoundTripsEntries) {
+  ResultCache cache;
+  ResultCache::Entry entry;
+  entry.l1_bytes = 1024;
+  entry.l2_bytes = 65536;
+  entry.strategy = "greedy";
+  entry.with_te = true;
+  entry.cycles = 1.0 / 3.0;  // 17-digit round trip must be exact
+  entry.energy_nj = 123456.789012345;
+  cache.insert(fnv1a64("cell-a"), entry);
+  entry.strategy = "anneal";
+  entry.with_te = false;
+  cache.insert(fnv1a64("cell-b"), entry);
+
+  ResultCache reloaded = ResultCache::from_json(cache.to_json());
+  ASSERT_EQ(reloaded.size(), 2u);
+  EXPECT_EQ(reloaded.entries(), cache.entries());
+  const ResultCache::Entry* found = reloaded.find(fnv1a64("cell-a"));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->cycles, 1.0 / 3.0);
+  EXPECT_EQ(found->strategy, "greedy");
+}
+
+TEST(ResultCache, SaveAndLoadPersist) {
+  std::string path = temp_path("mhla_cache_roundtrip.json");
+  ResultCache cache;
+  cache.insert(7, {256, 0, "greedy", true, 10.0, 20.0});
+  cache.save(path);
+  ResultCache loaded = ResultCache::load(path);
+  EXPECT_EQ(loaded.entries(), cache.entries());
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, MissingFileIsACleanColdCache) {
+  EXPECT_EQ(ResultCache::load(temp_path("mhla_cache_never_written.json")).size(), 0u);
+}
+
+TEST(ResultCache, MalformedFileThrowsNamingThePath) {
+  std::string path = temp_path("mhla_cache_corrupt.json");
+  std::ofstream(path) << "{\"version\": 1, \"entries\": [oops";
+  try {
+    ResultCache::load(path);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Explorer, ValidatesItsConfiguration) {
+  ExplorerConfig config = small_config();
+  config.l1_axis.clear();
+  EXPECT_THROW(Explorer{config}, std::invalid_argument);
+
+  config = small_config();
+  config.seed_stride = 0;
+  EXPECT_THROW(Explorer{config}, std::invalid_argument);
+
+  config = small_config();
+  config.strategies = {"no-such-strategy"};
+  EXPECT_THROW(Explorer{config}, std::out_of_range);
+}
+
+TEST(Explorer, DuplicateStrategiesCollapseToOneAxisEntry) {
+  ExplorerConfig config = small_config();
+  config.strategies = {"greedy", "greedy"};
+  Explorer explorer(config);
+  EXPECT_EQ(explorer.config().strategies.size(), 1u);
+  ExploreResult result = explorer.run(testing::blocked_reuse_program());
+  EXPECT_EQ(result.lattice_cells, config.l1_axis.size() * config.l2_axis.size());
+}
+
+TEST(Explorer, TeAxisCollapsesWithoutADmaEngine) {
+  // with_te cannot change any result when no transfer engine exists; the
+  // TE axis must not double the lattice (and the budget burn) for nothing.
+  ExplorerConfig config = small_config();
+  config.explore_te = true;
+  config.pipeline.dma.present = false;
+  ExploreResult result = Explorer(config).run(testing::blocked_reuse_program());
+  EXPECT_EQ(result.lattice_cells, config.l1_axis.size() * config.l2_axis.size());
+}
+
+TEST(Explorer, BudgetOnAWaveBoundaryAddsNoEmptyRound) {
+  ExplorerConfig config = small_config();  // seed wave: 3 x 2 = 6 cells
+  config.budget = 6;
+  ExploreResult exact = Explorer(config).run(testing::blocked_reuse_program());
+  EXPECT_EQ(exact.evaluations, 6u);
+  EXPECT_EQ(exact.rounds, 1u);
+  EXPECT_TRUE(exact.budget_exhausted);
+
+  config.budget = 5;
+  ExploreResult under = Explorer(config).run(testing::blocked_reuse_program());
+  EXPECT_EQ(under.rounds, 1u);
+}
+
+TEST(Explorer, BitIdenticalAcrossThreadCounts) {
+  ExplorerConfig config = small_config();
+  config.pipeline.num_threads = 1;
+  ExploreResult serial = Explorer(config).run(testing::blocked_reuse_program());
+  ASSERT_FALSE(serial.samples.empty());
+
+  for (unsigned threads : {0u, 4u}) {
+    config.pipeline.num_threads = threads;
+    ExploreResult parallel = Explorer(config).run(testing::blocked_reuse_program());
+    ASSERT_EQ(parallel.samples.size(), serial.samples.size()) << "threads " << threads;
+    for (std::size_t i = 0; i < serial.samples.size(); ++i) {
+      EXPECT_EQ(parallel.samples[i].cell, serial.samples[i].cell);
+      EXPECT_EQ(parallel.samples[i].point.cycles, serial.samples[i].point.cycles);
+      EXPECT_EQ(parallel.samples[i].point.energy_nj, serial.samples[i].point.energy_nj);
+    }
+    EXPECT_EQ(parallel.evaluations, serial.evaluations);
+    EXPECT_EQ(parallel.rounds, serial.rounds);
+    ASSERT_EQ(parallel.frontier.size(), serial.frontier.size());
+    for (std::size_t i = 0; i < serial.frontier.size(); ++i) {
+      EXPECT_EQ(parallel.frontier[i].cycles, serial.frontier[i].cycles);
+      EXPECT_EQ(parallel.frontier[i].energy_nj, serial.frontier[i].energy_nj);
+    }
+  }
+}
+
+TEST(Explorer, BudgetCapsPipelineEvaluations) {
+  ExplorerConfig config = small_config();
+  config.budget = 4;
+  ExploreResult result = Explorer(config).run(testing::blocked_reuse_program());
+  EXPECT_EQ(result.evaluations, 4u);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_EQ(result.samples.size(), 4u);
+}
+
+TEST(Explorer, AnytimeFrontierIsValidUnderAnyBudget) {
+  ExplorerConfig config = small_config();
+  for (std::size_t budget : {1u, 3u, 7u}) {
+    config.budget = budget;
+    ExploreResult result = Explorer(config).run(testing::blocked_reuse_program());
+    EXPECT_LE(result.evaluations, budget);
+    EXPECT_FALSE(result.frontier.empty());
+    for (const TradeoffPoint& f : result.frontier) {
+      bool matches_sample = false;
+      for (const ExploreSample& s : result.samples) {
+        if (s.point.cycles == f.cycles && s.point.energy_nj == f.energy_nj) matches_sample = true;
+      }
+      EXPECT_TRUE(matches_sample);
+    }
+  }
+}
+
+TEST(Explorer, JointSpaceCoversStrategyAndTeAxes) {
+  ExplorerConfig config = small_config();
+  config.l1_axis = {256, 1024};
+  config.strategies = {"greedy", "anneal"};
+  config.pipeline.search.anneal_iterations = 200;
+  config.explore_te = true;
+  config.seed_stride = 1;  // full lattice
+  ExploreResult result = Explorer(config).run(testing::blocked_reuse_program());
+  EXPECT_EQ(result.lattice_cells, 2u * 2u * 2u * 2u);
+  EXPECT_EQ(result.samples.size(), result.lattice_cells);
+  std::size_t anneal_cells = 0;
+  std::size_t te_off_cells = 0;
+  for (const ExploreSample& sample : result.samples) {
+    anneal_cells += sample.cell.strategy == "anneal";
+    te_off_cells += !sample.cell.with_te;
+  }
+  EXPECT_EQ(anneal_cells, result.lattice_cells / 2);
+  EXPECT_EQ(te_off_cells, result.lattice_cells / 2);
+
+  // Every frontier point carries its full cell coordinates, so a joint-
+  // space run can say which strategy/TE setting achieved it.
+  ASSERT_EQ(result.frontier_cells.size(), result.frontier.size());
+  for (std::size_t i = 0; i < result.frontier.size(); ++i) {
+    bool matches = false;
+    for (const ExploreSample& sample : result.samples) {
+      if (sample.cell == result.frontier_cells[i] &&
+          sample.point.cycles == result.frontier[i].cycles &&
+          sample.point.energy_nj == result.frontier[i].energy_nj) {
+        matches = true;
+      }
+    }
+    EXPECT_TRUE(matches) << i;
+  }
+}
+
+TEST(Explorer, HalfBudgetFrontierDominatesDefaultSweepOnTwoApps) {
+  // The acceptance bar of the exploration engine: on real applications,
+  // adaptive refinement recovers the full fixed grid's frontier from at
+  // most half the grid's pipeline evaluations.
+  for (const char* app : {"cavity_detection", "fft_filter"}) {
+    ir::Program program = apps::build_app(app);
+
+    SweepConfig grid = default_sweep();
+    std::vector<SweepSample> samples = sweep_layer_sizes(program, grid);
+    std::vector<TradeoffPoint> grid_front = frontier(samples);
+
+    ExplorerConfig config = default_explorer();
+    config.budget = samples.size() / 2;
+    ExploreResult adaptive = Explorer(config).run(program);
+
+    EXPECT_LE(adaptive.evaluations, samples.size() / 2) << app;
+    EXPECT_TRUE(frontier_covers(adaptive.frontier, grid_front)) << app;
+  }
+}
+
+TEST(Explorer, WarmCacheRunsZeroEvaluationsAndReproducesTheFrontier) {
+  std::string path = temp_path("mhla_cache_warm.json");
+  ExplorerConfig config = small_config();
+  config.cache_path = path;
+
+  ExploreResult cold = Explorer(config).run(testing::blocked_reuse_program());
+  EXPECT_GT(cold.evaluations, 0u);
+  EXPECT_EQ(cold.cache_hits, 0u);
+
+  ExploreResult warm = Explorer(config).run(testing::blocked_reuse_program());
+  EXPECT_EQ(warm.evaluations, 0u);
+  EXPECT_EQ(warm.cache_hits, warm.samples.size());
+  ASSERT_EQ(warm.samples.size(), cold.samples.size());
+  for (std::size_t i = 0; i < cold.samples.size(); ++i) {
+    EXPECT_EQ(warm.samples[i].cell, cold.samples[i].cell);
+    EXPECT_EQ(warm.samples[i].point.cycles, cold.samples[i].point.cycles);
+    EXPECT_EQ(warm.samples[i].point.energy_nj, cold.samples[i].point.energy_nj);
+    EXPECT_TRUE(warm.samples[i].from_cache);
+  }
+  ASSERT_EQ(warm.frontier.size(), cold.frontier.size());
+  for (std::size_t i = 0; i < cold.frontier.size(); ++i) {
+    EXPECT_EQ(warm.frontier[i].cycles, cold.frontier[i].cycles);
+    EXPECT_EQ(warm.frontier[i].energy_nj, cold.frontier[i].energy_nj);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Explorer, BudgetTruncatedRunReplaysWarmWithZeroEvaluations) {
+  // The budget counts sampled cells, cache hits included, precisely so a
+  // truncated exploration replays bit-identically from the cache instead
+  // of spending its budget on the cells the cold run never reached.
+  std::string path = temp_path("mhla_cache_budget_warm.json");
+  ExplorerConfig config = small_config();
+  config.budget = 7;  // seed wave (6) + part of the first refinement
+  config.cache_path = path;
+
+  ExploreResult cold = Explorer(config).run(testing::blocked_reuse_program());
+  EXPECT_EQ(cold.evaluations, 7u);
+  EXPECT_TRUE(cold.budget_exhausted);
+
+  ExploreResult warm = Explorer(config).run(testing::blocked_reuse_program());
+  EXPECT_EQ(warm.evaluations, 0u);
+  EXPECT_EQ(warm.cache_hits, 7u);
+  ASSERT_EQ(warm.samples.size(), cold.samples.size());
+  for (std::size_t i = 0; i < cold.samples.size(); ++i) {
+    EXPECT_EQ(warm.samples[i].cell, cold.samples[i].cell);
+    EXPECT_EQ(warm.samples[i].point.cycles, cold.samples[i].point.cycles);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Explorer, CacheKeysSeparateProgramsAndConfigs) {
+  std::string path = temp_path("mhla_cache_keys.json");
+  ExplorerConfig config = small_config();
+  config.cache_path = path;
+
+  ExploreResult first = Explorer(config).run(testing::blocked_reuse_program());
+  EXPECT_GT(first.evaluations, 0u);
+
+  // A different program misses the cache entirely...
+  ExploreResult other_program = Explorer(config).run(testing::tiny_stream_program());
+  EXPECT_EQ(other_program.cache_hits, 0u);
+
+  // ... as does a different target on the same program ...
+  ExplorerConfig energy = config;
+  energy.pipeline.target = assign::Target::Energy;
+  ExploreResult other_target = Explorer(energy).run(testing::blocked_reuse_program());
+  EXPECT_EQ(other_target.cache_hits, 0u);
+
+  // ... while the thread count is deliberately not part of the key.
+  ExplorerConfig threaded = config;
+  threaded.pipeline.num_threads = 4;
+  ExploreResult same_key = Explorer(threaded).run(testing::blocked_reuse_program());
+  EXPECT_EQ(same_key.evaluations, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Corpus, ExploresEveryMemberAndAggregatesCounters) {
+  CorpusConfig config;
+  config.explorer = small_config();
+  config.explorer.cache_path = temp_path("mhla_cache_corpus.json");
+  config.apps = {"conv_filter", "fft_filter"};
+  config.random_programs = 1;
+  config.random_seed = 11;
+
+  CorpusResult result = explore_corpus(config);
+  ASSERT_EQ(result.entries.size(), 3u);
+  EXPECT_EQ(result.entries[0].program, "conv_filter");
+  EXPECT_EQ(result.entries[1].program, "fft_filter");
+  EXPECT_EQ(result.entries[2].program, "fuzz_11");
+  std::size_t evaluations = 0;
+  std::size_t hits = 0;
+  for (const CorpusEntry& entry : result.entries) {
+    EXPECT_FALSE(entry.result.frontier.empty()) << entry.program;
+    evaluations += entry.result.evaluations;
+    hits += entry.result.cache_hits;
+  }
+  EXPECT_EQ(result.evaluations, evaluations);
+  EXPECT_EQ(result.cache_hits, hits);
+
+  // A warm corpus re-run touches no pipeline at all.
+  CorpusResult warm = explore_corpus(config);
+  EXPECT_EQ(warm.evaluations, 0u);
+  EXPECT_EQ(warm.cache_hits, result.cache_hits + result.evaluations);
+  std::remove(config.explorer.cache_path.c_str());
+}
+
+TEST(ExploreJson, ReportIsWellFormedAndCarriesCounters) {
+  ExplorerConfig config = small_config();
+  config.budget = 3;
+  ExploreResult result = Explorer(config).run(testing::blocked_reuse_program());
+  std::string json = to_json(result);
+  EXPECT_NE(json.find("\"evaluations\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"frontier\""), std::string::npos);
+  EXPECT_NE(json.find("\"from_cache\": false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mhla::xplore

@@ -110,6 +110,54 @@ TEST(Sweep, PlatformModelsFlowFromPipelineConfig) {
   EXPECT_GT(b[0].point.energy_nj, a[0].point.energy_nj);
 }
 
+TEST(Sweep, DuplicateSizesAreDeduplicated) {
+  SweepConfig config;
+  config.l1_sizes = {1024, 256, 1024, 256};
+  config.l2_sizes = {0, 8192, 0};
+  auto samples = sweep_layer_sizes(testing::blocked_reuse_program(), config);
+  ASSERT_EQ(samples.size(), 4u);  // 2 unique L1 x 2 unique L2
+  // First-occurrence order is preserved: (l2, l1) canonical flattening.
+  EXPECT_EQ(samples[0].point.l2_bytes, 0);
+  EXPECT_EQ(samples[0].point.l1_bytes, 1024);
+  EXPECT_EQ(samples[1].point.l1_bytes, 256);
+  EXPECT_EQ(samples[2].point.l2_bytes, 8192);
+}
+
+TEST(Sweep, SkippedInfeasibleCellsAreBitIdenticalToFullRuns) {
+  // Cells whose layers cannot hold even the smallest placeable object are
+  // sampled without a search; the shortcut must not change anything — same
+  // points, same assignments, same frontier.
+  SweepConfig skipped;
+  skipped.l1_sizes = {1, 4, 16, 1024};  // 1..16 B: below any array or copy box
+  skipped.l2_sizes = {0, 8, 8192};
+  skipped.skip_infeasible = true;
+  SweepConfig full = skipped;
+  full.skip_infeasible = false;
+
+  for (const char* strategy : {"greedy", "anneal"}) {
+    skipped.pipeline.strategy = strategy;
+    full.pipeline.strategy = strategy;
+    auto fast = sweep_layer_sizes(testing::blocked_reuse_program(), skipped);
+    auto slow = sweep_layer_sizes(testing::blocked_reuse_program(), full);
+    ASSERT_EQ(fast.size(), slow.size()) << strategy;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].point.l1_bytes, slow[i].point.l1_bytes) << strategy;
+      EXPECT_EQ(fast[i].point.l2_bytes, slow[i].point.l2_bytes) << strategy;
+      EXPECT_EQ(fast[i].point.cycles, slow[i].point.cycles) << strategy;
+      EXPECT_EQ(fast[i].point.energy_nj, slow[i].point.energy_nj) << strategy;
+      EXPECT_EQ(fast[i].assignment, slow[i].assignment) << strategy;
+      EXPECT_EQ(fast[i].te_applied, slow[i].te_applied) << strategy;
+    }
+    auto fast_front = frontier(fast);
+    auto slow_front = frontier(slow);
+    ASSERT_EQ(fast_front.size(), slow_front.size()) << strategy;
+    for (std::size_t i = 0; i < fast_front.size(); ++i) {
+      EXPECT_EQ(fast_front[i].cycles, slow_front[i].cycles) << strategy;
+      EXPECT_EQ(fast_front[i].energy_nj, slow_front[i].energy_nj) << strategy;
+    }
+  }
+}
+
 TEST(Sweep, FrontierIsSubsetOfSamples) {
   SweepConfig config;
   config.l1_sizes = {128, 512, 2048, 8192};

@@ -7,14 +7,14 @@
 #include "ir/serialize.h"
 #include "ir/validate.h"
 #include "sim/trace.h"
-#include "support/random_program.h"
+#include "gen/random_program.h"
 
 namespace mhla {
 namespace {
 
 class Fuzz : public ::testing::TestWithParam<std::uint32_t> {
  protected:
-  ir::Program program_ = testing::random_program(GetParam());
+  ir::Program program_ = gen::random_program(GetParam());
 };
 
 TEST_P(Fuzz, GeneratedProgramIsValid) {
@@ -57,7 +57,7 @@ TEST_P(Fuzz, FootprintsAreSound) {
 }
 
 TEST_P(Fuzz, SimAgreesWithCostModel) {
-  auto ws = core::make_workspace(testing::random_program(GetParam()), {}, {});
+  auto ws = core::make_workspace(gen::random_program(GetParam()), {}, {});
   auto ctx = ws->context();
   for (const assign::Assignment& a :
        {assign::out_of_box(ctx), assign::greedy_assign(ctx).assignment}) {
@@ -70,7 +70,7 @@ TEST_P(Fuzz, SimAgreesWithCostModel) {
 }
 
 TEST_P(Fuzz, GreedyIsFeasibleAndNeverWorseThanBaseline) {
-  auto ws = core::make_workspace(testing::random_program(GetParam()), {}, {});
+  auto ws = core::make_workspace(gen::random_program(GetParam()), {}, {});
   auto ctx = ws->context();
   assign::GreedyResult greedy = assign::greedy_assign(ctx);
   EXPECT_TRUE(assign::fits(ctx, greedy.assignment));
@@ -81,7 +81,7 @@ TEST_P(Fuzz, GreedyIsFeasibleAndNeverWorseThanBaseline) {
 }
 
 TEST_P(Fuzz, TransferModeOrderingHolds) {
-  auto ws = core::make_workspace(testing::random_program(GetParam()), {}, {});
+  auto ws = core::make_workspace(gen::random_program(GetParam()), {}, {});
   auto ctx = ws->context();
   assign::Assignment a = assign::greedy_assign(ctx).assignment;
   double blocking =
@@ -94,7 +94,7 @@ TEST_P(Fuzz, TransferModeOrderingHolds) {
 }
 
 TEST_P(Fuzz, EnergyInvariantUnderTransferMode) {
-  auto ws = core::make_workspace(testing::random_program(GetParam()), {}, {});
+  auto ws = core::make_workspace(gen::random_program(GetParam()), {}, {});
   auto ctx = ws->context();
   assign::Assignment a = assign::greedy_assign(ctx).assignment;
   double blocking = sim::simulate(ctx, a, {te::TransferMode::Blocking, {}}).energy_nj;
@@ -103,7 +103,7 @@ TEST_P(Fuzz, EnergyInvariantUnderTransferMode) {
 }
 
 TEST_P(Fuzz, TeFootprintExtensionsStayFeasible) {
-  auto ws = core::make_workspace(testing::random_program(GetParam()), {}, {});
+  auto ws = core::make_workspace(gen::random_program(GetParam()), {}, {});
   auto ctx = ws->context();
   assign::Assignment a = assign::greedy_assign(ctx).assignment;
   auto bts = te::collect_block_transfers(ctx, a);
