@@ -54,6 +54,39 @@ mem::PlatformConfig rate_platform() {
   return platform;
 }
 
+/// The guard-64 rate instance for the parallel branch-and-bound curve:
+/// three blocked 2D streams with per-block reuse plus three reused tables —
+/// 26 candidates x 2 on-chip layers = 52 placements, close to the engine
+/// guard, with a ~10M-state exact search space.
+ir::Program guard64_program() {
+  ir::ProgramBuilder pb("guard64");
+  pb.array("a", {32, 16}, 4).input();
+  pb.array("b", {16}, 4).input();
+  pb.array("c", {32, 16}, 4).input();
+  pb.array("d", {24}, 4).input();
+  pb.array("e", {32, 16}, 4).input();
+  pb.array("f", {48}, 4).input();
+  pb.array("o", {32}, 4).output();
+  pb.begin_loop("i", 0, 32);
+  pb.begin_loop("r", 0, 4);
+  pb.begin_loop("j", 0, 16);
+  pb.stmt("s", 2).read("a", {ir::av("i"), ir::av("j")}).read("b", {ir::av("j")});
+  pb.stmt("t", 2).read("c", {ir::av("i"), ir::av("j")}).read("d", {ir::av("j")});
+  pb.stmt("u", 2).read("e", {ir::av("i"), ir::av("j")}).read("f", {ir::av("j", 3)});
+  pb.end_loop();
+  pb.end_loop();
+  pb.stmt("g", 1).write("o", {ir::av("i")});
+  pb.end_loop();
+  return pb.finish();
+}
+
+mem::PlatformConfig guard64_platform() {
+  mem::PlatformConfig platform;
+  platform.l1_bytes = 640;
+  platform.l2_bytes = 4096;
+  return platform;
+}
+
 constexpr long kRateBudget = 50000;
 
 struct GreedyRow {
@@ -145,6 +178,41 @@ void print_scaling_report() {
             << (medium.exhausted_budget ? "budget hit" : "complete") << ", "
             << core::Table::num(medium_s * 1e3, 2) << " ms\n";
 
+  // --- Parallel branch-and-bound: thread-count scaling on the guard-64
+  // rate instance.  The optimum must be bit-identical at every thread
+  // count; wall-clock gains need real cores (the CI container has one).
+  auto g64_ws = core::make_workspace(guard64_program(), guard64_platform(), {});
+  auto g64_ctx = g64_ws->context();
+  assign::SearchOptions g64_options;
+  g64_options.max_states = 500'000'000;
+  t0 = Clock::now();
+  assign::SearchResult g64_serial = assign::searcher("bnb").search(g64_ctx, g64_options);
+  double g64_serial_s = seconds_since(t0);
+  std::cout << "guard-64 rate instance (52 placements): serial bnb "
+            << g64_serial.states_explored << " states, "
+            << core::Table::num(g64_serial_s * 1e3, 1) << " ms\n";
+  struct ParRow {
+    unsigned threads;
+    double seconds;
+    long states;
+  };
+  std::vector<ParRow> par_rows;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    assign::SearchOptions par_options = g64_options;
+    par_options.bnb_threads = threads;
+    t0 = Clock::now();
+    assign::SearchResult par = assign::searcher("bnb-par").search(g64_ctx, par_options);
+    double par_s = seconds_since(t0);
+    if (par.assignment != g64_serial.assignment || par.scalar != g64_serial.scalar) {
+      std::cout << "WARNING: bnb-par optimum mismatch at " << threads << " threads\n";
+    }
+    par_rows.push_back({threads, par_s, par.states_explored});
+    std::cout << "  bnb-par " << threads << " threads: " << par.states_explored
+              << " states, " << core::Table::num(par_s * 1e3, 1) << " ms, speedup vs serial "
+              << core::Table::num(g64_serial_s / (par_s > 0 ? par_s : 1e-9), 2) << "x\n";
+  }
+  std::cout << "\n";
+
   // --- Sweep: serial vs parallel wall-clock across the app registry.
   unsigned hw = core::default_parallelism();
   double serial_total = 0.0;
@@ -189,6 +257,14 @@ void print_scaling_report() {
        << ", \"medium_states\": " << medium.states_explored
        << ", \"medium_bound_prunes\": " << medium.bound_prunes
        << ", \"medium_capacity_prunes\": " << medium.capacity_prunes << "},\n"
+       << "  \"bnb_par\": {\"placements\": 52, \"serial_s\": " << g64_serial_s
+       << ", \"serial_states\": " << g64_serial.states_explored << ", \"curve\": [\n";
+  for (std::size_t i = 0; i < par_rows.size(); ++i) {
+    json << "    {\"threads\": " << par_rows[i].threads << ", \"s\": " << par_rows[i].seconds
+         << ", \"states\": " << par_rows[i].states << "}"
+         << (i + 1 < par_rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]},\n"
        << "  \"sweep\": {\"threads\": " << hw << ", \"serial_s\": " << serial_total
        << ", \"parallel_s\": " << parallel_total << "}\n}\n";
   std::cout << json.str() << "\n";
@@ -262,6 +338,14 @@ void BM_ExhaustiveBranchAndBound(benchmark::State& state) {
   run_exhaustive_bench(state, "bnb", options);
 }
 BENCHMARK(BM_ExhaustiveBranchAndBound);
+
+void BM_BnbParallel(benchmark::State& state) {
+  assign::SearchOptions options;
+  options.max_states = kRateBudget;
+  options.bnb_threads = static_cast<unsigned>(state.range(0));
+  run_exhaustive_bench(state, "bnb-par", options);
+}
+BENCHMARK(BM_BnbParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_SweepSerial(benchmark::State& state) {
   ir::Program program = apps::build_motion_estimation();

@@ -16,6 +16,8 @@
 //   --strategy <s>    search strategy registry name (default greedy;
 //                     unknown names list the registry)
 //   --threads <n>     worker threads for --sweep (0 = hardware)
+//   --bnb-threads <n> worker threads for --strategy bnb-par (0 = hardware;
+//                     the result is bit-identical for any count)
 //   --no-dma          platform without a transfer engine (TE not applicable)
 //   --sweep           run the fixed layer-size trade-off grid instead
 //   --explore         run the adaptive design-space exploration instead
@@ -68,8 +70,9 @@ int usage(const char* argv0) {
             << " (--app <name> | --file <path.mhla> | --dump-app <name>)\n"
                "       [--config <file.json>] [--l1 <bytes>] [--l2 <bytes>]\n"
                "       [--target energy|time|balanced] [--strategy <name>] [--threads <n>]\n"
-               "       [--no-dma] [--sweep] [--explore] [--corpus] [--budget <n>]\n"
-               "       [--cache <file.json>] [--dump-config] [--verbose] [--json]\n\n"
+               "       [--bnb-threads <n>] [--no-dma] [--sweep] [--explore] [--corpus]\n"
+               "       [--budget <n>] [--cache <file.json>] [--dump-config] [--verbose]\n"
+               "       [--json]\n\n"
                "strategies:\n";
   for (const std::string& name : assign::searcher_names()) {
     std::cerr << "  " << name << " — " << assign::searcher(name).description() << "\n";
@@ -127,6 +130,12 @@ bool parse_args(int argc, char** argv, Options& options) {
         throw std::invalid_argument("--threads out of range");
       }
       options.pipeline.num_threads = static_cast<unsigned>(threads);
+    } else if (arg == "--bnb-threads") {
+      long long threads = std::stoll(next());
+      if (threads < 0 || threads > std::numeric_limits<unsigned>::max()) {
+        throw std::invalid_argument("--bnb-threads out of range");
+      }
+      options.pipeline.search.bnb_threads = static_cast<unsigned>(threads);
     } else if (arg == "--no-dma") {
       options.pipeline.dma.present = false;
     } else if (arg == "--sweep") {

@@ -1,6 +1,7 @@
 #include "assign/cost_engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "ir/walk.h"
@@ -122,6 +123,31 @@ CostEngine::CostEngine(const AssignContext& ctx)
       return candidates[static_cast<std::size_t>(a)].level >
              candidates[static_cast<std::size_t>(b)].level;
     });
+  }
+
+  // Suffix minima for the branch-and-bound bound: column C is "no candidate
+  // left" (+inf); walking candidate ids downward folds in the cheapest term
+  // candidate j could still give each of its member sites.
+  const double inf = std::numeric_limits<double>::infinity();
+  site_suffix_e_.assign(S * (C + 1), inf);
+  site_suffix_c_.assign(S * (C + 1), inf);
+  for (std::size_t c = C; c-- > 0;) {
+    for (std::size_t s = 0; s < S; ++s) {
+      site_suffix_e_[s * (C + 1) + c] = site_suffix_e_[s * (C + 1) + c + 1];
+      site_suffix_c_[s * (C + 1) + c] = site_suffix_c_[s * (C + 1) + c + 1];
+    }
+    const analysis::CopyCandidate& cc = candidates[c];
+    for (int layer = 0; layer < background_; ++layer) {
+      const mem::MemLayer& target = ctx_.hierarchy.layer(layer);
+      if (!target.unbounded() && cc.bytes > target.capacity_bytes) continue;
+      for (int site : cc_sites_[c]) {
+        std::size_t s = static_cast<std::size_t>(site);
+        site_suffix_e_[s * (C + 1) + c] =
+            std::min(site_suffix_e_[s * (C + 1) + c], site_energy_term(s, layer));
+        site_suffix_c_[s * (C + 1) + c] =
+            std::min(site_suffix_c_[s * (C + 1) + c], site_cycle_term(s, layer));
+      }
+    }
   }
 
   load(out_of_box(ctx_));
@@ -399,6 +425,24 @@ double CostEngine::cc_cycle_term(int cc_id, int src, int dst) const {
   double cycles = 0.0;
   if (!cc_fill_free_[c]) cycles += xfer_cycles_[idx];
   if (cc_write_back_[c]) cycles += xfer_cycles_[idx];
+  return cycles;
+}
+
+double CostEngine::pinned_energy_term(std::size_t array, int home) const {
+  if (home == background_) return 0.0;
+  std::size_t idx = array * static_cast<std::size_t>(num_layers_) + static_cast<std::size_t>(home);
+  double energy = 0.0;
+  if (array_input_[array]) energy += pin_fill_energy_[idx];
+  if (array_output_[array]) energy += pin_flush_energy_[idx];
+  return energy;
+}
+
+double CostEngine::pinned_cycle_term(std::size_t array, int home) const {
+  if (home == background_) return 0.0;
+  std::size_t idx = array * static_cast<std::size_t>(num_layers_) + static_cast<std::size_t>(home);
+  double cycles = 0.0;
+  if (array_input_[array]) cycles += pin_fill_cycles_[idx];
+  if (array_output_[array]) cycles += pin_flush_cycles_[idx];
   return cycles;
 }
 

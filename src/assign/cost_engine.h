@@ -151,6 +151,28 @@ class CostEngine {
   /// Candidate ids covering `site`, deepest (highest level) first.
   const std::vector<int>& covering(std::size_t site) const { return covering_[site]; }
 
+  /// Member site ids of candidate `cc_id` (the sites whose serving layer a
+  /// selection of the candidate can change).
+  const std::vector<int>& candidate_sites(int cc_id) const {
+    return cc_sites_[static_cast<std::size_t>(cc_id)];
+  }
+
+  /// Suffix minima over undecided candidates, for bound tightening in the
+  /// branch-and-bound searches.  With candidates decided in id order,
+  /// `site_suffix_energy(s, j)` is the cheapest energy term any *undecided*
+  /// candidate (id >= j) covering `s` could still give the site — the min
+  /// over those candidates and every on-chip layer each individually fits —
+  /// or +infinity once no covering candidate remains open.  Together with
+  /// the site's current serving term this bounds the site's final term from
+  /// below (admissibly: the final serving layer is either the current one or
+  /// one offered by an undecided covering candidate).
+  double site_suffix_energy(std::size_t site, std::size_t next_cc) const {
+    return site_suffix_e_[site * (num_candidates() + 1) + next_cc];
+  }
+  double site_suffix_cycles(std::size_t site, std::size_t next_cc) const {
+    return site_suffix_c_[site * (num_candidates() + 1) + next_cc];
+  }
+
   /// Energy / blocking-cycle contribution of selecting `cc_id` with parent
   /// store `src` and own layer `dst` (fill + write-back as applicable).
   double cc_energy_term(int cc_id, int src, int dst) const;
@@ -158,6 +180,15 @@ class CostEngine {
 
   /// Pinned fill/flush (energy, cycles) totals for the current array homes.
   std::pair<double, double> pinned_totals() const;
+
+  /// Index of the array access site `site` belongs to.
+  std::size_t site_array(std::size_t site) const { return site_array_[site]; }
+
+  /// Pinned fill+flush contribution of homing array `array` on `home`
+  /// (zero for the background home) — the per-array terms `pinned_totals`
+  /// sums for the current homes.
+  double pinned_energy_term(std::size_t array, int home) const;
+  double pinned_cycle_term(std::size_t array, int home) const;
 
  private:
   struct UndoRec {
@@ -201,6 +232,8 @@ class CostEngine {
   std::vector<double> fill_energy_;    ///< [cc][src][dst]
   std::vector<double> wb_energy_;      ///< [cc][src][dst]
   std::vector<double> xfer_cycles_;    ///< [cc][src][dst] (per direction)
+  std::vector<double> site_suffix_e_;  ///< [site][next_cc] suffix minima
+  std::vector<double> site_suffix_c_;  ///< [site][next_cc]
   std::vector<std::string> array_names_;          ///< array index -> name
   std::map<std::string, std::size_t> array_index_;
   std::vector<bool> array_input_;

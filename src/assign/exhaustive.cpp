@@ -1,13 +1,39 @@
 #include "assign/exhaustive.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "assign/cost_engine.h"
+#include "assign/greedy.h"
+#include "core/parallel_for.h"
 
 namespace mhla::assign {
 
 namespace {
+
+/// The canonical feasible-home enumeration: background first, then the
+/// on-chip layers outermost-in, skipping layers the array does not fit.
+/// Every phase that walks or mirrors the array-home decision — the
+/// reference DFS, the engine DFS, the bound precompute and the bnb-par
+/// root-frontier split — goes through here: the bit-identity guarantees
+/// (engine vs reference, parallel vs serial) lean on all of them visiting
+/// homes in exactly this order.
+template <typename Fn>
+void for_each_feasible_home(const AssignContext& ctx, const ir::ArrayDecl& array,
+                            bool allow_migration, Fn&& fn) {
+  const int L = ctx.hierarchy.num_layers();
+  const int background = ctx.hierarchy.background();
+  int last = allow_migration ? L - 1 : 0;
+  for (int offset = 0; offset <= last; ++offset) {
+    int layer = (background + L - offset) % L;
+    const mem::MemLayer& target = ctx.hierarchy.layer(layer);
+    if (!target.unbounded() && array.bytes() > target.capacity_bytes) continue;
+    fn(layer);
+  }
+}
 
 /// Reference enumeration: from-scratch estimate_cost per state, no pruning
 /// beyond per-placement capacity.  Kept as the oracle the engine path is
@@ -67,17 +93,12 @@ struct SearchState {
     }
     const ir::ArrayDecl& array = arrays[index];
     int entry = assignment.layer_of(array.name, ctx.hierarchy.background());
-    int last = options.allow_array_migration ? ctx.hierarchy.num_layers() - 1 : 0;
-    for (int offset = 0; offset <= last; ++offset) {
-      // Enumerate background first so small instances find the canonical
-      // everything-off-chip baseline immediately.
-      int layer = (ctx.hierarchy.background() + ctx.hierarchy.num_layers() - offset) %
-                  ctx.hierarchy.num_layers();
-      const mem::MemLayer& target = ctx.hierarchy.layer(layer);
-      if (!target.unbounded() && array.bytes() > target.capacity_bytes) continue;
+    // Background first, so small instances find the canonical
+    // everything-off-chip baseline immediately.
+    for_each_feasible_home(ctx, array, options.allow_array_migration, [&](int layer) {
       assignment.array_layer[array.name] = layer;
       recurse_arrays(assignment, index + 1);
-    }
+    });
     // Restore the entry value, not the background: the caller's scratch may
     // legitimately hold a non-background home for this array.
     assignment.array_layer[array.name] = entry;
@@ -106,6 +127,10 @@ ExhaustiveResult exhaustive_reference(const AssignContext& ctx, const Exhaustive
 /// beat the incumbent, and placements whose cumulative (layer, nest)
 /// footprint already overflows a bounded layer (copy selection only ever
 /// adds footprint, so no completion of such a branch is feasible).
+///
+/// Copyable on purpose: the parallel search stamps one task search per
+/// root-frontier subtree from a shared prototype, reusing the engine
+/// precompute and the bound tables instead of rebuilding them per task.
 struct EngineSearch {
   const AssignContext& ctx;
   const ExhaustiveOptions& options;
@@ -121,6 +146,13 @@ struct EngineSearch {
   int overfull_cells = 0;     ///< mirror mode: overflowing (layer, nest) cells on the path
   bool base_infeasible_ = false;  ///< mirror mode: array homes alone overflow a layer
 
+  /// Shared incumbent of a parallel search (null when serial).  Tasks
+  /// publish every locally improving scalar and prune against it *strictly*
+  /// — a subtree is cut only when it provably cannot even equal the shared
+  /// value — so the canonical-DFS-order optimum survives in its own task
+  /// regardless of which task lowered the bound first.
+  core::AtomicMin* shared_incumbent = nullptr;
+
   /// Running lower bound, split into an exact part (terms whose final value
   /// is already fixed) and an optimistic part (admissible minima for the
   /// still-open decisions).  Passed by value down the DFS so backtracking
@@ -133,15 +165,35 @@ struct EngineSearch {
   };
 
   // -- static bound tables (per context) --
-  std::vector<std::vector<int>> final_at_;  ///< [j] -> sites decided entering step j
-  std::vector<double> site_opt_e_;  ///< per site: min on-chip covering-cc term (+inf if none)
-  std::vector<double> site_opt_c_;
   std::vector<double> cc_lb_e_;  ///< [cc * L + dst]: min over src > dst
   std::vector<double> cc_lb_c_;
+  /// [j] -> sites whose suffix minimum actually changes when candidate j is
+  /// decided (engine.site_suffix at j+1 differs from j).  With candidates
+  /// sorted (array, nest, level) the deepest chain member usually carries
+  /// the minimum, so for most candidates this list is empty and the
+  /// per-node tightening costs nothing; a site whose last useful candidate
+  /// dies mid-chain tightens the moment it does.
+  std::vector<std::vector<int>> tighten_at_;
+  /// Per-site optimistic term before the array's home is decided: min over
+  /// the homes the DFS may choose (background always qualifies) and over
+  /// the copy suffix minima — the array-home-phase part of the bound.
+  std::vector<double> site_open_e_;
+  std::vector<double> site_open_c_;
+  std::vector<std::vector<int>> array_sites_;  ///< array index -> site ids
   // -- per copy phase --
-  std::vector<double> site_lb_e_;  ///< min(home term, site_opt)
+  std::vector<double> site_lb_e_;  ///< current per-site bound contribution
   std::vector<double> site_lb_c_;
   std::vector<std::vector<i64>> usage_;  ///< [layer][nest] running footprint
+
+  /// Backtracking journal for the per-site bound contributions; tighten
+  /// pushes the displaced values, restore pops to a mark.  One flat stack
+  /// keeps the hot path allocation-free after warmup.
+  struct SavedSite {
+    int site;
+    double e;
+    double c;
+  };
+  std::vector<SavedSite> saved_sites_;
 
   EngineSearch(const AssignContext& c, const ExhaustiveOptions& o)
       : ctx(c),
@@ -156,29 +208,10 @@ struct EngineSearch {
 
   void precompute_bounds() {
     const double inf = std::numeric_limits<double>::infinity();
-    const auto& candidates = ctx.reuse.candidates();
+    const std::size_t C = ctx.reuse.candidates().size();
     const std::size_t S = engine.num_sites();
-    const std::size_t C = candidates.size();
     const int L = ctx.hierarchy.num_layers();
     const int background = ctx.hierarchy.background();
-
-    final_at_.assign(C + 1, {});
-    site_opt_e_.assign(S, inf);
-    site_opt_c_.assign(S, inf);
-    for (std::size_t s = 0; s < S; ++s) {
-      int last_cc = -1;
-      for (int cc_id : engine.covering(s)) {
-        last_cc = std::max(last_cc, cc_id);
-        const analysis::CopyCandidate& cc = candidates[static_cast<std::size_t>(cc_id)];
-        for (int layer = 0; layer < background; ++layer) {
-          const mem::MemLayer& target = ctx.hierarchy.layer(layer);
-          if (!target.unbounded() && cc.bytes > target.capacity_bytes) continue;
-          site_opt_e_[s] = std::min(site_opt_e_[s], engine.site_energy_term(s, layer));
-          site_opt_c_[s] = std::min(site_opt_c_[s], engine.site_cycle_term(s, layer));
-        }
-      }
-      final_at_[static_cast<std::size_t>(last_cc + 1)].push_back(static_cast<int>(s));
-    }
 
     cc_lb_e_.assign(C * static_cast<std::size_t>(L), 0.0);
     cc_lb_c_.assign(C * static_cast<std::size_t>(L), 0.0);
@@ -196,14 +229,53 @@ struct EngineSearch {
         cc_lb_c_[c * static_cast<std::size_t>(L) + static_cast<std::size_t>(dst)] = lb_c;
       }
     }
+
+    tighten_at_.assign(C, {});
+    for (std::size_t c = 0; c < C; ++c) {
+      for (int site : engine.candidate_sites(static_cast<int>(c))) {
+        std::size_t s = static_cast<std::size_t>(site);
+        if (engine.site_suffix_energy(s, c + 1) != engine.site_suffix_energy(s, c) ||
+            engine.site_suffix_cycles(s, c + 1) != engine.site_suffix_cycles(s, c)) {
+          tighten_at_[c].push_back(site);
+        }
+      }
+    }
+
+    const auto& arrays = ctx.program.arrays();
+    array_sites_.assign(arrays.size(), {});
+    for (std::size_t s = 0; s < S; ++s) {
+      array_sites_[engine.site_array(s)].push_back(static_cast<int>(s));
+    }
+    site_open_e_.assign(S, inf);
+    site_open_c_.assign(S, inf);
+    for (std::size_t a = 0; a < arrays.size(); ++a) {
+      for_each_feasible_home(ctx, arrays[a], options.allow_array_migration, [&](int home) {
+        for (int site : array_sites_[a]) {
+          std::size_t s = static_cast<std::size_t>(site);
+          site_open_e_[s] = std::min(site_open_e_[s], engine.site_energy_term(s, home));
+          site_open_c_[s] = std::min(site_open_c_[s], engine.site_cycle_term(s, home));
+        }
+      });
+    }
+    for (std::size_t s = 0; s < S; ++s) {
+      site_open_e_[s] = std::min(site_open_e_[s], engine.site_suffix_energy(s, 0));
+      site_open_c_[s] = std::min(site_open_c_[s], engine.site_suffix_cycles(s, 0));
+    }
   }
 
   /// Admissible scalar lower bound for every completion of the current node.
   /// The tiny relative margin absorbs floating-point drift in the running
   /// sums so pruning never discards a state that could strictly improve.
+  /// Against the local incumbent the cut is `>=` (serial tie semantics: the
+  /// first state found in DFS order keeps a tied scalar); against the shared
+  /// incumbent of a parallel search it is strictly `>`, so a subtree that
+  /// could still *tie* — and therefore precede the incumbent in canonical
+  /// order — is never discarded.
   bool prune(const Bound& bound) {
     double lb = objective.scalar_terms(bound.exact_e + bound.opt_e, bound.exact_c + bound.opt_c);
-    if (lb * (1.0 - 1e-9) >= best_scalar) {
+    double discounted = lb * (1.0 - 1e-9);
+    if (discounted >= best_scalar ||
+        (shared_incumbent && discounted > shared_incumbent->load())) {
       ++bound_prunes;
       return true;
     }
@@ -226,24 +298,44 @@ struct EngineSearch {
     if (scalar < best_scalar) {
       best_scalar = scalar;
       best = engine.assignment();
+      if (shared_incumbent) shared_incumbent->update(scalar);
+    }
+  }
+
+  /// Candidate j has just been decided (skipped, or selected on the engine):
+  /// its member sites can no longer receive a copy from it, so each bound
+  /// contribution tightens to min(current serving term, suffix minimum over
+  /// candidates > j).  Once a site's last covering candidate is decided the
+  /// suffix is +inf and the contribution becomes the exact serving term.
+  /// Displaced values go on `saved_sites_`; the caller restores to its mark.
+  /// Only sites whose suffix minimum actually moves are touched.
+  void tighten_sites(std::size_t j, Bound& bound) {
+    for (int site : tighten_at_[j]) {
+      std::size_t s = static_cast<std::size_t>(site);
+      int layer = engine.serving_layer(s);
+      double e = std::min(engine.site_energy_term(s, layer), engine.site_suffix_energy(s, j + 1));
+      double c = std::min(engine.site_cycle_term(s, layer), engine.site_suffix_cycles(s, j + 1));
+      saved_sites_.push_back({site, site_lb_e_[s], site_lb_c_[s]});
+      bound.opt_e += e - site_lb_e_[s];
+      bound.opt_c += c - site_lb_c_[s];
+      site_lb_e_[s] = e;
+      site_lb_c_[s] = c;
+    }
+  }
+
+  void restore_sites(std::size_t mark) {
+    while (saved_sites_.size() > mark) {
+      const SavedSite& saved = saved_sites_.back();
+      std::size_t s = static_cast<std::size_t>(saved.site);
+      site_lb_e_[s] = saved.e;
+      site_lb_c_[s] = saved.c;
+      saved_sites_.pop_back();
     }
   }
 
   void recurse_copies(std::size_t j, Bound bound) {
     if (budget_hit) return;
-    if (bnb) {
-      // Sites whose last covering candidate is now decided move from the
-      // optimistic to the exact part of the bound.
-      for (int site : final_at_[j]) {
-        std::size_t s = static_cast<std::size_t>(site);
-        bound.opt_e -= site_lb_e_[s];
-        bound.opt_c -= site_lb_c_[s];
-        int layer = engine.serving_layer(s);
-        bound.exact_e += engine.site_energy_term(s, layer);
-        bound.exact_c += engine.site_cycle_term(s, layer);
-      }
-      if (prune(bound)) return;
-    }
+    if (bnb && prune(bound)) return;
 
     const auto& candidates = ctx.reuse.candidates();
     if (j == candidates.size()) {
@@ -251,7 +343,13 @@ struct EngineSearch {
       return;
     }
     // Option A: skip this candidate.
-    recurse_copies(j + 1, bound);
+    {
+      Bound child = bound;
+      std::size_t mark = saved_sites_.size();
+      if (bnb) tighten_sites(j, child);
+      recurse_copies(j + 1, child);
+      if (bnb) restore_sites(mark);
+    }
     // Option B: place it on every on-chip layer it fits individually; the
     // cumulative (lifetime-aware) footprint of its nest either prunes the
     // branch (bnb) or marks it infeasible while mirroring the reference DFS.
@@ -270,13 +368,16 @@ struct EngineSearch {
       CostEngine::Checkpoint cp = engine.checkpoint();
       engine.select_copy(cc.id, layer);
       Bound child = bound;
+      std::size_t mark = saved_sites_.size();
       if (bnb) {
         child.opt_e += cc_lb_e_[j * static_cast<std::size_t>(ctx.hierarchy.num_layers()) +
                                 static_cast<std::size_t>(layer)];
         child.opt_c += cc_lb_c_[j * static_cast<std::size_t>(ctx.hierarchy.num_layers()) +
                                 static_cast<std::size_t>(layer)];
+        tighten_sites(j, child);
       }
       recurse_copies(j + 1, child);
+      if (bnb) restore_sites(mark);
       engine.undo_to(cp);
       if (overflows) --overfull_cells;
       cell -= cc.bytes;
@@ -301,10 +402,11 @@ struct EngineSearch {
       site_lb_e_.assign(S, 0.0);
       site_lb_c_.assign(S, 0.0);
       for (std::size_t s = 0; s < S; ++s) {
-        // No copies are selected yet, so serving_layer == the array's home.
+        // No copies are selected yet, so serving_layer == the array's home;
+        // suffix 0 is the minimum over every covering candidate.
         int home = engine.serving_layer(s);
-        site_lb_e_[s] = std::min(engine.site_energy_term(s, home), site_opt_e_[s]);
-        site_lb_c_[s] = std::min(engine.site_cycle_term(s, home), site_opt_c_[s]);
+        site_lb_e_[s] = std::min(engine.site_energy_term(s, home), engine.site_suffix_energy(s, 0));
+        site_lb_c_[s] = std::min(engine.site_cycle_term(s, home), engine.site_suffix_cycles(s, 0));
         bound.opt_e += site_lb_e_[s];
         bound.opt_c += site_lb_c_[s];
       }
@@ -312,31 +414,83 @@ struct EngineSearch {
     recurse_copies(0, bound);
   }
 
-  void recurse_arrays(std::size_t index) {
+  /// Fold array `a`'s home decision into the array-phase bound: its pinned
+  /// traffic becomes exact and its sites' contributions move from the
+  /// any-home optimistic term to min(term at the chosen home, copy suffix).
+  /// The bound travels by value down the DFS, so no restore is needed.
+  void apply_home_to_bound(std::size_t a, int home, Bound& bound) {
+    bound.exact_e += engine.pinned_energy_term(a, home);
+    bound.exact_c += engine.pinned_cycle_term(a, home);
+    for (int site : array_sites_[a]) {
+      std::size_t s = static_cast<std::size_t>(site);
+      double e = std::min(engine.site_energy_term(s, home), engine.site_suffix_energy(s, 0));
+      double c = std::min(engine.site_cycle_term(s, home), engine.site_suffix_cycles(s, 0));
+      bound.opt_e += e - site_open_e_[s];
+      bound.opt_c += c - site_open_c_[s];
+    }
+  }
+
+  void recurse_arrays(std::size_t index, Bound bound) {
     if (budget_hit) return;
+    if (bnb && prune(bound)) return;
     const auto& arrays = ctx.program.arrays();
     if (index == arrays.size()) {
       enter_copy_phase();
       return;
     }
     const ir::ArrayDecl& array = arrays[index];
-    int last = options.allow_array_migration ? ctx.hierarchy.num_layers() - 1 : 0;
-    for (int offset = 0; offset <= last; ++offset) {
-      int layer = (ctx.hierarchy.background() + ctx.hierarchy.num_layers() - offset) %
-                  ctx.hierarchy.num_layers();
-      const mem::MemLayer& target = ctx.hierarchy.layer(layer);
-      if (!target.unbounded() && array.bytes() > target.capacity_bytes) continue;
+    for_each_feasible_home(ctx, array, options.allow_array_migration, [&](int layer) {
       CostEngine::Checkpoint cp = engine.checkpoint();
       engine.set_home(array.name, layer);
-      recurse_arrays(index + 1);
+      Bound child = bound;
+      if (bnb) apply_home_to_bound(index, layer, child);
+      recurse_arrays(index + 1, child);
       engine.undo_to(cp);
+    });
+  }
+
+  /// Run the search from array index `start` on; homes of arrays before
+  /// `start` must already be set on the engine (the parallel tasks replay
+  /// their root-frontier prefix that way, the serial search starts at 0).
+  void run(std::size_t start) {
+    Bound bound;
+    if (bnb) {
+      bound.exact_c = engine.compute_cycles();
+      const std::size_t S = engine.num_sites();
+      for (std::size_t s = 0; s < S; ++s) {
+        bound.opt_e += site_open_e_[s];
+        bound.opt_c += site_open_c_[s];
+      }
+      for (std::size_t a = 0; a < start; ++a) {
+        apply_home_to_bound(a, engine.home_of(a), bound);
+      }
     }
+    recurse_arrays(start, bound);
   }
 };
 
+/// A greedy run gives an *achievable* scalar, so pruning strictly above it
+/// can only discard non-optimal subtrees: admissible bounds satisfy
+/// lb <= optimum <= seed on any subtree holding an optimal state.  The seed
+/// rides in `shared_incumbent` — whose prune is strict — rather than the
+/// local best, so tie states (scalar == seed) still enumerate and the
+/// returned optimum is bit-identical to an unseeded search.
+double greedy_incumbent_seed(const AssignContext& ctx, const ExhaustiveOptions& options) {
+  GreedyOptions greedy;
+  greedy.energy_weight = options.energy_weight;
+  greedy.time_weight = options.time_weight;
+  greedy.allow_array_migration = options.allow_array_migration;
+  return greedy_assign(ctx, greedy).final_scalar;
+}
+
 ExhaustiveResult exhaustive_engine(const AssignContext& ctx, const ExhaustiveOptions& options) {
   EngineSearch search(ctx, options);
-  search.recurse_arrays(0);
+  core::AtomicMin seed(search.best_scalar);
+  if (search.bnb && options.seed_incumbent) {
+    seed.update(greedy_incumbent_seed(ctx, options));
+    search.shared_incumbent = &seed;
+  }
+  search.run(0);
 
   ExhaustiveResult result;
   result.assignment = std::move(search.best);
@@ -348,19 +502,125 @@ ExhaustiveResult exhaustive_engine(const AssignContext& ctx, const ExhaustiveOpt
   return result;
 }
 
+/// A root-frontier task of the parallel search: the home layers of the
+/// first `layers.size()` arrays, in declaration order.  Expanding the
+/// array-home prefix tree breadth-first — prefixes in order, layers in the
+/// serial branch order — keeps the task list in canonical DFS-subtree
+/// order, which the tie-breaking reduction below relies on.
+std::vector<std::vector<int>> split_root_frontier(const AssignContext& ctx,
+                                                  const ExhaustiveOptions& options,
+                                                  std::size_t target_tasks) {
+  const auto& arrays = ctx.program.arrays();
+
+  std::vector<std::vector<int>> frontier{{}};
+  for (std::size_t depth = 0; depth < arrays.size() && frontier.size() < target_tasks; ++depth) {
+    std::vector<std::vector<int>> next;
+    next.reserve(frontier.size() * static_cast<std::size_t>(ctx.hierarchy.num_layers()));
+    for (const std::vector<int>& prefix : frontier) {
+      for_each_feasible_home(ctx, arrays[depth], options.allow_array_migration, [&](int layer) {
+        std::vector<int> child = prefix;
+        child.push_back(layer);
+        next.push_back(std::move(child));
+      });
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+ExhaustiveResult exhaustive_parallel(const AssignContext& ctx, const ExhaustiveOptions& options) {
+  // One prototype carries the engine precompute and the bound tables; every
+  // task copies it instead of rebuilding them.  Its out-of-box incumbent is
+  // also the serial search's starting incumbent.
+  EngineSearch prototype(ctx, options);
+
+  ExhaustiveResult result;
+  result.assignment = prototype.best;
+  result.scalar = prototype.best_scalar;
+
+  unsigned threads = options.num_threads ? options.num_threads : core::default_parallelism();
+  std::size_t target_tasks = static_cast<std::size_t>(threads) *
+                             static_cast<std::size_t>(std::max(options.tasks_per_thread, 1));
+  std::vector<std::vector<int>> tasks = split_root_frontier(ctx, options, target_tasks);
+  // Unreachable while the background layer is unbounded (every array always
+  // has at least one feasible home); kept as a cheap defense so a future
+  // bounded-background hierarchy degrades to the serial no-leaves result.
+  if (tasks.empty()) return result;
+
+  // The shared incumbent starts at the out-of-box scalar and, optionally,
+  // the greedy scalar: both are costs of feasible assignments, so pruning
+  // strictly above them never cuts an optimal state.  The seed is a bound
+  // only — the returned assignment always comes from the enumeration.
+  core::AtomicMin incumbent(prototype.best_scalar);
+  if (options.seed_incumbent) incumbent.update(greedy_incumbent_seed(ctx, options));
+
+  struct TaskOutcome {
+    Assignment best;
+    double scalar = 0.0;
+    long states = 0;
+    bool budget_hit = false;
+    long bound_prunes = 0;
+    long capacity_prunes = 0;
+  };
+  std::vector<TaskOutcome> outcomes(tasks.size());
+  const auto& arrays = ctx.program.arrays();
+  core::parallel_for(tasks.size(), threads, [&](std::size_t t) {
+    EngineSearch search(prototype);
+    search.shared_incumbent = &incumbent;
+    for (std::size_t a = 0; a < tasks[t].size(); ++a) {
+      search.engine.set_home(arrays[a].name, tasks[t][a]);
+    }
+    search.run(tasks[t].size());
+    outcomes[t] = {std::move(search.best),      search.best_scalar,
+                   search.states,               search.budget_hit,
+                   search.bound_prunes,         search.capacity_prunes};
+  });
+
+  // Canonical-order reduction: strict improvement keeps the earliest task on
+  // ties, exactly as the serial DFS keeps the first state it visits.
+  for (TaskOutcome& outcome : outcomes) {
+    if (outcome.scalar < result.scalar) {
+      result.scalar = outcome.scalar;
+      result.assignment = std::move(outcome.best);
+    }
+    result.states_explored += outcome.states;
+    result.exhausted_budget = result.exhausted_budget || outcome.budget_hit;
+    result.bound_prunes += outcome.bound_prunes;
+    result.capacity_prunes += outcome.capacity_prunes;
+  }
+  return result;
+}
+
 }  // namespace
 
-ExhaustiveResult exhaustive_assign(const AssignContext& ctx, const ExhaustiveOptions& options) {
+namespace {
+
+void check_placement_guard(const AssignContext& ctx, std::size_t guard) {
   std::size_t placements = ctx.reuse.candidates().size() *
                            static_cast<std::size_t>(std::max(ctx.hierarchy.background(), 1));
-  std::size_t guard = options.use_cost_engine ? kEnginePlacementGuard : kReferencePlacementGuard;
   if (placements > guard) {
     throw std::invalid_argument(
         "exhaustive_assign: instance too large (" + std::to_string(placements) +
         " candidate placements, guard " + std::to_string(guard) + "); use greedy_assign");
   }
+}
+
+}  // namespace
+
+ExhaustiveResult exhaustive_assign(const AssignContext& ctx, const ExhaustiveOptions& options) {
+  check_placement_guard(
+      ctx, options.use_cost_engine ? kEnginePlacementGuard : kReferencePlacementGuard);
   return options.use_cost_engine ? exhaustive_engine(ctx, options)
                                  : exhaustive_reference(ctx, options);
+}
+
+ExhaustiveResult exhaustive_parallel_assign(const AssignContext& ctx,
+                                            const ExhaustiveOptions& options) {
+  check_placement_guard(ctx, kEnginePlacementGuard);
+  ExhaustiveOptions forced = options;
+  forced.use_cost_engine = true;
+  forced.use_branch_and_bound = true;
+  return exhaustive_parallel(ctx, forced);
 }
 
 }  // namespace mhla::assign

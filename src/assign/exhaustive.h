@@ -26,6 +26,14 @@ struct ExhaustiveOptions {
   /// (same states_explored, same budget behavior).  Used to measure pure
   /// per-state evaluation throughput and by the equivalence tests.
   bool use_branch_and_bound = true;
+
+  /// `exhaustive_parallel_assign` knobs; `seed_incumbent` also applies to
+  /// the serial engine path when branch-and-bound is on.  The greedy seed
+  /// only ever prunes (strictly, so tied states still enumerate) — the
+  /// returned optimum is bit-identical with or without it.
+  unsigned num_threads = 0;    ///< worker threads (0 = hardware concurrency)
+  int tasks_per_thread = 4;    ///< target root-frontier tasks per worker
+  bool seed_incumbent = true;  ///< seed the incumbent bound with the greedy scalar
 };
 
 /// Instance-size guards: candidate placements (candidates x on-chip layers)
@@ -49,5 +57,25 @@ struct ExhaustiveResult {
 /// heuristic and for the search benchmarks; throws std::invalid_argument
 /// if the instance exceeds the placement guard of the selected path.
 ExhaustiveResult exhaustive_assign(const AssignContext& ctx, const ExhaustiveOptions& options = {});
+
+/// Parallel branch-and-bound (registry strategy "bnb-par"): the array-home
+/// root frontier is expanded breadth-first into ~`num_threads x
+/// tasks_per_thread` subtree tasks, each running the engine-backed
+/// branch-and-bound DFS on its own engine while every task prunes against a
+/// shared atomic incumbent bound (optionally seeded with the greedy scalar).
+///
+/// The result — best assignment and scalar — is **bit-identical to serial
+/// branch-and-bound for any thread count**: the shared incumbent only ever
+/// holds scalars of feasible assignments, and cross-task pruning is strict
+/// (a subtree is cut only when it provably cannot *equal* the incumbent),
+/// so the canonical-DFS-order optimum always survives in its own task and
+/// the canonical-order reduction returns it.  The state/prune counters, by
+/// contrast, depend on incumbent-propagation timing and are not
+/// reproducible run to run; `max_states` bounds each task separately, and
+/// the determinism guarantee requires the budget not to bind.  Engine and
+/// branch-and-bound are always on; the instance guard is
+/// `kEnginePlacementGuard`, as for the serial engine path.
+ExhaustiveResult exhaustive_parallel_assign(const AssignContext& ctx,
+                                            const ExhaustiveOptions& options = {});
 
 }  // namespace mhla::assign

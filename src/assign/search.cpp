@@ -63,6 +63,9 @@ ExhaustiveOptions to_exhaustive_options(const SearchOptions& options) {
   exhaustive.allow_array_migration = options.allow_array_migration;
   exhaustive.use_cost_engine = options.use_cost_engine;
   exhaustive.use_branch_and_bound = options.use_branch_and_bound;
+  exhaustive.num_threads = options.bnb_threads;
+  exhaustive.tasks_per_thread = options.bnb_tasks_per_thread;
+  exhaustive.seed_incumbent = options.bnb_seed_incumbent;
   return exhaustive;
 }
 
@@ -128,6 +131,7 @@ class ExhaustiveSearcher final : public Searcher {
   enum class Mode {
     Free,       ///< honor the options' engine/bound toggles
     BnB,        ///< force engine + branch-and-bound
+    Parallel,   ///< parallel branch-and-bound with a shared incumbent
     Reference,  ///< force the from-scratch enumeration
   };
 
@@ -139,6 +143,9 @@ class ExhaustiveSearcher final : public Searcher {
 
   SearchResult search(const AssignContext& ctx, const SearchOptions& options) const override {
     ExhaustiveOptions exhaustive = to_exhaustive_options(options);
+    if (mode_ == Mode::Parallel) {
+      return from_exhaustive(exhaustive_parallel_assign(ctx, exhaustive));
+    }
     if (mode_ == Mode::BnB) {
       exhaustive.use_cost_engine = true;
       exhaustive.use_branch_and_bound = true;
@@ -185,6 +192,10 @@ std::map<std::string, std::unique_ptr<Searcher>>& registry() {
     add(std::make_unique<ExhaustiveSearcher>(
         "bnb", "branch-and-bound exhaustive search (engine lower bound + capacity pruning)",
         ExhaustiveSearcher::Mode::BnB));
+    add(std::make_unique<ExhaustiveSearcher>(
+        "bnb-par",
+        "parallel branch-and-bound (root-frontier tasks, shared incumbent; bit-identical to bnb)",
+        ExhaustiveSearcher::Mode::Parallel));
     add(std::make_unique<ExhaustiveSearcher>(
         "exhaustive", "exhaustive enumeration honoring the engine/bound toggles",
         ExhaustiveSearcher::Mode::Free));

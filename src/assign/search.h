@@ -52,10 +52,18 @@ struct SearchOptions {
   double anneal_cooling = 0.997;
 
   /// Engine toggles (see GreedyOptions / ExhaustiveOptions for semantics).
-  /// The "-ref" registry strategies and "bnb" override these; "greedy" and
-  /// "exhaustive" honor them.
+  /// The "-ref" registry strategies, "bnb" and "bnb-par" override these;
+  /// "greedy" and "exhaustive" honor them.
   bool use_cost_engine = true;
   bool use_branch_and_bound = true;
+
+  /// "bnb-par" knobs: parallel branch-and-bound over root-frontier subtree
+  /// tasks sharing one atomic incumbent bound.  The result is bit-identical
+  /// to serial "bnb" for any thread count (the incumbent only prunes); the
+  /// knobs trade setup overhead against load balance and bound strength.
+  unsigned bnb_threads = 0;        ///< worker threads (0 = hardware concurrency)
+  int bnb_tasks_per_thread = 4;    ///< target root-frontier tasks per worker
+  bool bnb_seed_incumbent = true;  ///< seed the shared bound with the greedy scalar
 
   /// Replace the weights with the canonical mapping for `target`;
   /// Target::Custom leaves the explicit weights untouched.
@@ -93,8 +101,10 @@ class Searcher {
 /// Registered strategy names, sorted.  Built-ins: "anneal" (seeded
 /// simulated annealing on the cost engine), "greedy" (engine-backed
 /// steering heuristic), "greedy-ref" (from-scratch reference), "bnb"
-/// (branch-and-bound exhaustive), "exhaustive" (engine enumeration honoring
-/// the toggles), "exhaustive-ref" (from-scratch enumeration).
+/// (branch-and-bound exhaustive), "bnb-par" (parallel branch-and-bound with
+/// a shared incumbent, bit-identical to "bnb"), "exhaustive" (engine
+/// enumeration honoring the toggles), "exhaustive-ref" (from-scratch
+/// enumeration).
 std::vector<std::string> searcher_names();
 
 /// Look up a strategy by name; throws std::out_of_range whose message lists

@@ -264,7 +264,10 @@ std::string to_json(const PipelineConfig& config, int indent) {
       << ",\n" << p1 << "             \"anneal_iterations\": " << search.anneal_iterations
       << ", \"anneal_seed\": " << search.anneal_seed
       << ", \"anneal_initial_temp\": " << num_exact(search.anneal_initial_temp)
-      << ", \"anneal_cooling\": " << num_exact(search.anneal_cooling) << "},\n";
+      << ", \"anneal_cooling\": " << num_exact(search.anneal_cooling)
+      << ",\n" << p1 << "             \"bnb_threads\": " << search.bnb_threads
+      << ", \"bnb_tasks_per_thread\": " << search.bnb_tasks_per_thread
+      << ", \"bnb_seed_incumbent\": " << bool_text(search.bnb_seed_incumbent) << "},\n";
   out << p1 << "\"te\": {\"order\": \"" << order_name(config.te.order)
       << "\", \"max_lookahead\": " << config.te.max_lookahead
       << ", \"charge_cold_start\": " << bool_text(config.te.charge_cold_start) << "},\n";
@@ -334,7 +337,10 @@ PipelineConfig pipeline_config_from_json(const std::string& text) {
                    .field("anneal_iterations", search.anneal_iterations, as_int)
                    .field("anneal_seed", search.anneal_seed, as_integer<std::uint32_t>)
                    .field("anneal_initial_temp", search.anneal_initial_temp, as_double)
-                   .field("anneal_cooling", search.anneal_cooling, as_double);
+                   .field("anneal_cooling", search.anneal_cooling, as_double)
+                   .field("bnb_threads", search.bnb_threads, as_unsigned)
+                   .field("bnb_tasks_per_thread", search.bnb_tasks_per_thread, as_int)
+                   .field("bnb_seed_incumbent", search.bnb_seed_incumbent, as_bool);
                return search;
              })
       .field("te", config.te,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 
@@ -21,5 +22,35 @@ unsigned default_parallelism();
 ///    thread after all workers have joined; remaining indices may be skipped.
 void parallel_for(std::size_t count, unsigned num_threads,
                   const std::function<void(std::size_t)>& body);
+
+/// Lock-free running minimum over doubles, shared by `parallel_for` workers.
+///
+/// `update` folds a candidate in with a compare-exchange loop; min is
+/// commutative and associative, so the final value is the true minimum of
+/// every folded candidate regardless of interleaving.  `load` may observe a
+/// stale (larger) value mid-run but never a smaller-than-true one, which is
+/// exactly the guarantee a parallel branch-and-bound needs from its shared
+/// incumbent: pruning against a stale bound is merely less effective, never
+/// unsound.  NaN candidates are ignored.
+class AtomicMin {
+ public:
+  explicit AtomicMin(double initial) : value_(initial) {}
+
+  double load() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Returns true if `candidate` became the new minimum.
+  bool update(double candidate) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (candidate < current) {
+      if (value_.compare_exchange_weak(current, candidate, std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::atomic<double> value_;
+};
 
 }  // namespace mhla::core

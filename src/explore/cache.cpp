@@ -1,10 +1,14 @@
 #include "explore/cache.h"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iomanip>
+#include <random>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "core/json.h"
 #include "core/json_report.h"
@@ -57,10 +61,38 @@ ResultCache ResultCache::load(const std::string& path) {
 }
 
 void ResultCache::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot write result cache '" + path + "'");
-  out << to_json() << "\n";
-  if (!out) throw std::runtime_error("failed writing result cache '" + path + "'");
+  // Write-to-temp + rename: an interrupted or failed write must not
+  // truncate away the previously accumulated entries (the same hazard
+  // load() refuses to run into on an unreadable file).  The temp name mixes
+  // a random draw with the thread id and the clock — std::random_device
+  // alone may be deterministic on some platforms — so concurrent shard
+  // saves to one path cannot interleave inside a single temp file; last
+  // rename wins atomically.
+  std::uint64_t nonce = std::random_device{}();
+  nonce = nonce * 0x9e3779b97f4a7c15ULL ^
+          static_cast<std::uint64_t>(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  nonce ^= static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  const std::string tmp = path + ".tmp." + std::to_string(nonce);
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write result cache '" + tmp + "'");
+    out << to_json() << "\n";
+    out.flush();
+    if (!out) {
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw std::runtime_error("failed writing result cache '" + tmp + "'");
+    }
+  }
+  std::error_code rename_error;
+  std::filesystem::rename(tmp, path, rename_error);
+  if (rename_error) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw std::runtime_error("cannot move result cache into place at '" + path +
+                             "': " + rename_error.message());
+  }
 }
 
 ResultCache ResultCache::from_json(const std::string& text) {

@@ -105,16 +105,24 @@ ExploreResult Explorer::run(const ir::Program& program, ResultCache& cache) cons
   auto key_of = [&](const DesignCell& cell) {
     // The key covers everything that determines the cell's cost pair: the
     // program text and the *effective* pipeline document of the cell.  The
-    // thread count is zeroed — parallelism must never change a key.
+    // thread counts are zeroed and the bnb-par pruning knobs reset —
+    // parallelism must never change a key, and those knobs only steer
+    // pruning (the bnb-par optimum is bit-identical for any setting).
+    // That guarantee assumes the state budget does not bind; budget-bound
+    // search results are therefore never persisted (see the wave loop), so
+    // every cached entry really is knob-independent.
     core::PipelineConfig effective = config_.pipeline;
     effective.platform.l1_bytes = cell.l1_bytes;
     effective.platform.l2_bytes = cell.l2_bytes;
     effective.strategy = cell.strategy;
     effective.num_threads = 0;
+    effective.search.bnb_threads = 0;
+    effective.search.bnb_tasks_per_thread = assign::SearchOptions{}.bnb_tasks_per_thread;
+    effective.search.bnb_seed_incumbent = assign::SearchOptions{}.bnb_seed_incumbent;
     return fnv1a64(program_text + '\x1f' + core::to_json(effective) + '\x1f' +
                    (cell.with_te ? "te" : "blocking"));
   };
-  auto evaluate = [&](const DesignCell& cell) {
+  auto evaluate = [&](const DesignCell& cell, bool& cacheable) {
     mem::PlatformConfig platform = config_.pipeline.platform;
     platform.l1_bytes = cell.l1_bytes;
     platform.l2_bytes = cell.l2_bytes;
@@ -124,6 +132,9 @@ ExploreResult Explorer::run(const ir::Program& program, ResultCache& cache) cons
                               config_.pipeline.dma};
     const assign::Searcher& strategy = assign::searcher(cell.strategy);
     assign::SearchResult found = strategy.search(ctx, search);
+    // A budget-bound search result depends on the pruning knobs the cache
+    // key deliberately normalizes away; never persist one.
+    cacheable = !found.exhausted_budget;
 
     sim::SimOptions sim_options;
     sim_options.mode = cell.with_te && config_.pipeline.dma.present
@@ -199,14 +210,18 @@ ExploreResult Explorer::run(const ir::Program& program, ResultCache& cache) cons
       }
     }
 
+    std::vector<char> cacheable(wave.size(), 1);
     core::parallel_for(pending.size(), config_.pipeline.num_threads, [&](std::size_t p) {
       std::size_t w = pending[p];
-      wave_samples[w].point = evaluate(wave_samples[w].cell);
+      bool keep = true;
+      wave_samples[w].point = evaluate(wave_samples[w].cell, keep);
+      cacheable[w] = keep ? 1 : 0;
     });
     result.evaluations += pending.size();
 
     for (std::size_t p = 0; p < pending.size(); ++p) {
       std::size_t w = pending[p];
+      if (!cacheable[w]) continue;
       const ExploreSample& sample = wave_samples[w];
       ResultCache::Entry entry;
       entry.l1_bytes = sample.cell.l1_bytes;

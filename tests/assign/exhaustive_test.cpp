@@ -131,6 +131,9 @@ TEST(Exhaustive, StateBudgetIsHonored) {
   auto ctx = ws->context();
   ExhaustiveOptions options;
   options.max_states = 2;
+  // With the greedy incumbent seed the whole search can legitimately finish
+  // inside two states; unseeded it cannot, which is what this test needs.
+  options.seed_incumbent = false;
   ExhaustiveResult result = exhaustive_assign(ctx, options);
   EXPECT_TRUE(result.exhausted_budget);
   EXPECT_LE(result.states_explored, 3);

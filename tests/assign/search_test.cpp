@@ -93,8 +93,11 @@ TEST(Search, ExhaustiveVariantsAgreeOnTheOptimum) {
   auto ctx = ws->context();
   SearchResult reference = searcher("exhaustive-ref").search(ctx, {});
   SearchResult bnb = searcher("bnb").search(ctx, {});
+  SearchResult bnb_par = searcher("bnb-par").search(ctx, {});
   EXPECT_EQ(bnb.scalar, reference.scalar);
   EXPECT_EQ(bnb.assignment, reference.assignment);
+  EXPECT_EQ(bnb_par.scalar, bnb.scalar);
+  EXPECT_EQ(bnb_par.assignment, bnb.assignment);
   EXPECT_GT(reference.states_explored, 0);
   // The bound must have cut states, never added them.
   EXPECT_LE(bnb.states_explored, reference.states_explored);
@@ -114,13 +117,17 @@ TEST(Search, GreedyRefForcesTheReferencePath) {
 }
 
 TEST(Search, UnknownNameThrowsListingTheRegistry) {
+  // "bnb-par" must be a registered built-in, and the error menu must name
+  // every registered strategy, it included.
+  std::vector<std::string> names = searcher_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "bnb-par"), names.end());
   try {
     searcher("tabu");
     FAIL() << "expected std::out_of_range";
   } catch (const std::out_of_range& e) {
     std::string message = e.what();
     EXPECT_NE(message.find("tabu"), std::string::npos);
-    for (const std::string& name : searcher_names()) {
+    for (const std::string& name : names) {
       EXPECT_NE(message.find(name), std::string::npos) << name;
     }
   }

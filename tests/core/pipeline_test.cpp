@@ -67,6 +67,9 @@ PipelineConfig custom_config() {
   config.search.allow_array_migration = false;
   config.search.use_cost_engine = false;
   config.search.use_branch_and_bound = false;
+  config.search.bnb_threads = 6;
+  config.search.bnb_tasks_per_thread = 2;
+  config.search.bnb_seed_incumbent = false;
   config.te.order = te::ExtensionOrder::BySizeDescending;
   config.te.max_lookahead = 5;
   config.te.charge_cold_start = true;
@@ -201,6 +204,25 @@ TEST(PipelineConfigJson, PartialDocumentsKeepDefaults) {
   EXPECT_EQ(parsed.platform.l2_bytes, defaults.platform.l2_bytes);
   EXPECT_EQ(parsed.te, defaults.te);
   EXPECT_EQ(parsed.search, defaults.search);
+}
+
+TEST(PipelineConfigJson, BnbParKnobsRoundTrip) {
+  // The parallel branch-and-bound knobs ride in the search block: partial
+  // documents set them, dumps carry them, and the round trip is lossless
+  // (CustomConfigRoundTripsLosslessly covers non-default values).
+  PipelineConfig parsed = pipeline_config_from_json(
+      R"({"strategy": "bnb-par",
+          "search": {"bnb_threads": 4, "bnb_tasks_per_thread": 8,
+                     "bnb_seed_incumbent": false}})");
+  EXPECT_EQ(parsed.strategy, "bnb-par");
+  EXPECT_EQ(parsed.search.bnb_threads, 4u);
+  EXPECT_EQ(parsed.search.bnb_tasks_per_thread, 8);
+  EXPECT_FALSE(parsed.search.bnb_seed_incumbent);
+
+  std::string dumped = to_json(PipelineConfig{});
+  EXPECT_NE(dumped.find("bnb_threads"), std::string::npos);
+  EXPECT_NE(dumped.find("bnb_tasks_per_thread"), std::string::npos);
+  EXPECT_NE(dumped.find("bnb_seed_incumbent"), std::string::npos);
 }
 
 TEST(PipelineConfigJson, MalformedInputGivesClearErrors) {

@@ -303,6 +303,15 @@ TEST(Explorer, CacheKeysSeparateProgramsAndConfigs) {
   threaded.pipeline.num_threads = 4;
   ExploreResult same_key = Explorer(threaded).run(testing::blocked_reuse_program());
   EXPECT_EQ(same_key.evaluations, 0u);
+
+  // The bnb-par knobs only steer pruning (the optimum is bit-identical for
+  // any setting), so they must not change keys either.
+  ExplorerConfig par_knobs = config;
+  par_knobs.pipeline.search.bnb_threads = 8;
+  par_knobs.pipeline.search.bnb_tasks_per_thread = 2;
+  par_knobs.pipeline.search.bnb_seed_incumbent = false;
+  ExploreResult par_key = Explorer(par_knobs).run(testing::blocked_reuse_program());
+  EXPECT_EQ(par_key.evaluations, 0u);
   std::remove(path.c_str());
 }
 

@@ -158,6 +158,53 @@ TEST(Sweep, SkippedInfeasibleCellsAreBitIdenticalToFullRuns) {
   }
 }
 
+TEST(Sweep, SingleInfeasibleCellAtTheDedupEdgeIsBitIdentical) {
+  // Regression for the dedup + skip interaction: a grid whose duplicate
+  // sizes collapse to exactly one cell where the smallest placeable object
+  // fits no layer.  The skip path must sample that one cell out-of-box and
+  // leave every other cell untouched, bit for bit.
+  using ir::av;
+  ir::ProgramBuilder pb("one_cell");
+  pb.array("tab", {16}, 4).input();        // 64 B: the smallest placeable object
+  pb.array("big", {64, 16}, 4).input();    // rows of 64 B reused under r
+  pb.array("out", {64}, 4).output();
+  pb.begin_loop("i", 0, 64);
+  pb.begin_loop("r", 0, 4);
+  pb.begin_loop("j", 0, 16);
+  pb.stmt("s", 1).read("big", {av("i"), av("j")}).read("tab", {av("j")});
+  pb.end_loop();
+  pb.end_loop();
+  pb.stmt("e", 1).write("out", {av("i")});
+  pb.end_loop();
+  ir::Program program = pb.finish();
+
+  SweepConfig skipped;
+  skipped.l1_sizes = {32, 256, 32};  // dedups to {32, 256}; 32 B holds nothing
+  skipped.l2_sizes = {0};
+  SweepConfig full = skipped;
+  full.skip_infeasible = false;
+
+  for (const char* strategy : {"greedy", "bnb-par"}) {
+    skipped.pipeline.strategy = strategy;
+    full.pipeline.strategy = strategy;
+    auto fast = sweep_layer_sizes(program, skipped);
+    auto slow = sweep_layer_sizes(program, full);
+    ASSERT_EQ(fast.size(), 2u) << strategy;
+    ASSERT_EQ(slow.size(), 2u) << strategy;
+    // The 32 B cell can only ever be out-of-box; the 256 B cell must still
+    // run the real search (the skip may not leak to feasible neighbors).
+    EXPECT_TRUE(fast[0].assignment.copies.empty()) << strategy;
+    EXPECT_FALSE(fast[1].assignment.copies.empty()) << strategy;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].point.l1_bytes, slow[i].point.l1_bytes) << strategy;
+      EXPECT_EQ(fast[i].point.l2_bytes, slow[i].point.l2_bytes) << strategy;
+      EXPECT_EQ(fast[i].point.cycles, slow[i].point.cycles) << strategy;
+      EXPECT_EQ(fast[i].point.energy_nj, slow[i].point.energy_nj) << strategy;
+      EXPECT_EQ(fast[i].assignment, slow[i].assignment) << strategy;
+    }
+  }
+}
+
 TEST(Sweep, FrontierIsSubsetOfSamples) {
   SweepConfig config;
   config.l1_sizes = {128, 512, 2048, 8192};
