@@ -14,6 +14,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "assign/footprint_tracker.h"
 #include "assign/search.h"
 #include "core/json_report.h"
 #include "core/parallel_for.h"
@@ -96,6 +97,79 @@ struct GreedyRow {
   int evaluations = 0;
 };
 
+struct FeasibilityRow {
+  std::string app;
+  long probes = 0;          ///< fits() calls per timed pass
+  double scratch_s = 0.0;   ///< from-scratch compute_footprints per probe
+  double tracker_s = 0.0;   ///< FootprintTracker place/feasible/undo per probe
+  double greedy_scratch_s = 0.0;  ///< greedy end-to-end, scratch fits()
+  double greedy_tracker_s = 0.0;  ///< greedy end-to-end, tracker fits()
+};
+
+/// The greedy hot loop distilled: probe "would this copy placement still
+/// fit?" for every (unselected candidate, on-chip layer) pair on top of the
+/// app's final greedy assignment.  The scratch pass clones the assignment
+/// and rebuilds the whole usage matrix per probe — exactly what
+/// `fits(ctx, next)` paid before this PR; the tracker pass answers the same
+/// probes with place/feasible/undo deltas.
+FeasibilityRow measure_feasibility(const apps::AppInfo& info) {
+  FeasibilityRow row;
+  row.app = info.name;
+  auto ws = core::make_workspace(info.build(), bench::default_platform(), {});
+  auto ctx = ws->context();
+  assign::GreedyResult greedy = assign::greedy_assign(ctx);
+  const assign::Assignment& base = greedy.assignment;
+  const int background = ctx.hierarchy.background();
+
+  std::vector<std::pair<int, int>> probes;  // (cc_id, layer)
+  for (const analysis::CopyCandidate& cc : ctx.reuse.candidates()) {
+    if (cc.elems <= 0 || base.has_copy(cc.id)) continue;
+    for (int layer = 0; layer < background; ++layer) probes.emplace_back(cc.id, layer);
+  }
+
+  constexpr int kRepeats = 20;
+  long verdicts_scratch = 0;
+  auto t0 = Clock::now();
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    for (auto [cc_id, layer] : probes) {
+      assign::Assignment next = base;
+      next.copies.push_back({cc_id, layer});
+      verdicts_scratch += assign::fits(ctx, next) ? 1 : 0;
+    }
+  }
+  row.scratch_s = seconds_since(t0);
+
+  assign::FootprintTracker tracker(ctx, base);
+  long verdicts_tracker = 0;
+  t0 = Clock::now();
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    for (auto [cc_id, layer] : probes) {
+      assign::FootprintTracker::Checkpoint cp = tracker.checkpoint();
+      tracker.place_copy(cc_id, layer);
+      verdicts_tracker += tracker.feasible() ? 1 : 0;
+      tracker.undo_to(cp);
+    }
+  }
+  row.tracker_s = seconds_since(t0);
+  row.probes = static_cast<long>(probes.size()) * kRepeats;
+  if (verdicts_scratch != verdicts_tracker) {
+    std::cout << "WARNING: feasibility verdict mismatch on " << info.name << "\n";
+  }
+
+  assign::SearchOptions scratch_options;
+  scratch_options.use_footprint_tracker = false;
+  t0 = Clock::now();
+  assign::SearchResult slow = assign::searcher("greedy").search(ctx, scratch_options);
+  row.greedy_scratch_s = seconds_since(t0);
+  t0 = Clock::now();
+  assign::SearchResult fast = assign::searcher("greedy").search(ctx, {});
+  row.greedy_tracker_s = seconds_since(t0);
+  if (fast.scalar != slow.scalar || !(fast.assignment == slow.assignment)) {
+    std::cout << "WARNING: tracker/scratch greedy mismatch on " << info.name << "\n";
+  }
+  return row;
+}
+
 void print_scaling_report() {
   bench::print_header("Search scaling: incremental cost engine + parallel sweep",
                       "fast, accurate and automatic exploration (tool-speed claim)");
@@ -126,6 +200,29 @@ void print_scaling_report() {
                    core::Table::num(fast.evaluations / (engine_s > 0 ? engine_s : 1e-9), 0)});
   }
   std::cout << table.str() << "\n";
+
+  // --- Feasibility: tracker-backed fits() vs the from-scratch rebuild, on
+  // the two largest apps (where fits() dominated greedy's per-candidate
+  // cost), plus greedy end-to-end with each feasibility path.
+  std::vector<FeasibilityRow> feasibility;
+  core::Table feas_table({"application", "probes", "scratch ms", "tracker ms", "fits speedup",
+                          "greedy scratch ms", "greedy tracker ms", "greedy speedup"});
+  for (const apps::AppInfo& info : apps::all_apps()) {
+    if (info.name != "motion_estimation" && info.name != "mpeg2_encoder") continue;
+    FeasibilityRow row = measure_feasibility(info);
+    feas_table.add_row(
+        {row.app, std::to_string(row.probes), core::Table::num(row.scratch_s * 1e3, 2),
+         core::Table::num(row.tracker_s * 1e3, 2),
+         core::Table::num(row.scratch_s / (row.tracker_s > 0 ? row.tracker_s : 1e-9), 1) + "x",
+         core::Table::num(row.greedy_scratch_s * 1e3, 2),
+         core::Table::num(row.greedy_tracker_s * 1e3, 2),
+         core::Table::num(
+             row.greedy_scratch_s / (row.greedy_tracker_s > 0 ? row.greedy_tracker_s : 1e-9), 2) +
+             "x"});
+    feasibility.push_back(std::move(row));
+  }
+  std::cout << "feasibility (fits() probes on the final greedy assignment):\n"
+            << feas_table.str() << "\n";
 
   // --- Exhaustive throughput: the mirror mode replays the reference DFS
   // state for state (identical states_explored under the same budget), so
@@ -248,6 +345,15 @@ void print_scaling_report() {
          << ", \"engine_s\": " << row.engine_s << "}" << (i + 1 < rows.size() ? "," : "")
          << "\n";
   }
+  json << "  ],\n  \"feasibility\": [\n";
+  for (std::size_t i = 0; i < feasibility.size(); ++i) {
+    const FeasibilityRow& row = feasibility[i];
+    json << "    {\"app\": \"" << core::json_escape(row.app) << "\", \"probes\": " << row.probes
+         << ", \"scratch_s\": " << row.scratch_s << ", \"tracker_s\": " << row.tracker_s
+         << ", \"greedy_scratch_s\": " << row.greedy_scratch_s
+         << ", \"greedy_tracker_s\": " << row.greedy_tracker_s << "}"
+         << (i + 1 < feasibility.size() ? "," : "") << "\n";
+  }
   json << "  ],\n"
        << "  \"exhaustive\": {\"scratch_states\": " << reference.states_explored
        << ", \"scratch_s\": " << reference_s << ", \"mirror_states\": "
@@ -346,6 +452,46 @@ void BM_BnbParallel(benchmark::State& state) {
   run_exhaustive_bench(state, "bnb-par", options);
 }
 BENCHMARK(BM_BnbParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void run_fits_bench(benchmark::State& state, bool use_tracker) {
+  const apps::AppInfo& info = apps::all_apps()[static_cast<std::size_t>(state.range(0))];
+  auto ws = core::make_workspace(info.build(), bench::default_platform(), {});
+  auto ctx = ws->context();
+  assign::Assignment base = assign::greedy_assign(ctx).assignment;
+  std::vector<std::pair<int, int>> probes;
+  for (const analysis::CopyCandidate& cc : ctx.reuse.candidates()) {
+    if (cc.elems <= 0 || base.has_copy(cc.id)) continue;
+    for (int layer = 0; layer < ctx.hierarchy.background(); ++layer) {
+      probes.emplace_back(cc.id, layer);
+    }
+  }
+  assign::FootprintTracker tracker(ctx, base);
+  for (auto _ : state) {
+    long feasible = 0;
+    for (auto [cc_id, layer] : probes) {
+      if (use_tracker) {
+        assign::FootprintTracker::Checkpoint cp = tracker.checkpoint();
+        tracker.place_copy(cc_id, layer);
+        feasible += tracker.feasible() ? 1 : 0;
+        tracker.undo_to(cp);
+      } else {
+        assign::Assignment next = base;
+        next.copies.push_back({cc_id, layer});
+        feasible += assign::fits(ctx, next) ? 1 : 0;
+      }
+    }
+    benchmark::DoNotOptimize(feasible);
+  }
+  state.counters["fits/s"] = benchmark::Counter(static_cast<double>(probes.size()),
+                                                benchmark::Counter::kIsIterationInvariantRate);
+  state.SetLabel(info.name);
+}
+
+void BM_FitsScratch(benchmark::State& state) { run_fits_bench(state, false); }
+BENCHMARK(BM_FitsScratch)->DenseRange(0, kLastAppIndex);
+
+void BM_FitsTracker(benchmark::State& state) { run_fits_bench(state, true); }
+BENCHMARK(BM_FitsTracker)->DenseRange(0, kLastAppIndex);
 
 void BM_SweepSerial(benchmark::State& state) {
   ir::Program program = apps::build_motion_estimation();

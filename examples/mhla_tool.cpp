@@ -27,6 +27,9 @@
 //   --budget <n>      --explore/--corpus: cap on sampled cells (0 = off)
 //   --cache <file>    --explore/--corpus: persistent result cache (JSON)
 //   --dump-config     print the effective PipelineConfig JSON and exit
+//   --footprints      dump the per-layer/per-nest usage matrix and peaks of
+//                     the final (time-extended) assignment; combined with
+//                     --json the dump rides in the result document
 //   --verbose         also print the program and the chosen assignment
 //   --json            machine-readable result (strategy, timings, points)
 
@@ -61,6 +64,7 @@ struct Options {
   long long budget = 0;
   std::string cache;
   bool dump_config = false;
+  bool footprints = false;
   bool verbose = false;
   bool json = false;
 };
@@ -71,8 +75,8 @@ int usage(const char* argv0) {
                "       [--config <file.json>] [--l1 <bytes>] [--l2 <bytes>]\n"
                "       [--target energy|time|balanced] [--strategy <name>] [--threads <n>]\n"
                "       [--bnb-threads <n>] [--no-dma] [--sweep] [--explore] [--corpus]\n"
-               "       [--budget <n>] [--cache <file.json>] [--dump-config] [--verbose]\n"
-               "       [--json]\n\n"
+               "       [--budget <n>] [--cache <file.json>] [--dump-config] [--footprints]\n"
+               "       [--verbose] [--json]\n\n"
                "strategies:\n";
   for (const std::string& name : assign::searcher_names()) {
     std::cerr << "  " << name << " — " << assign::searcher(name).description() << "\n";
@@ -151,6 +155,8 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.cache = next();
     } else if (arg == "--dump-config") {
       options.dump_config = true;
+    } else if (arg == "--footprints") {
+      options.footprints = true;
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--json") {
@@ -298,11 +304,35 @@ int main(int argc, char** argv) {
       }
       std::cout << "\n";
     }
+    // The final (time-extended) point's simulation already carries the
+    // per-layer/per-nest footprint report of the chosen assignment.
+    const assign::FootprintReport& footprints = run.points.mhla_te.footprints;
     if (options.json) {
-      std::cout << core::to_json(ws->program().name(), run) << "\n";
+      if (options.footprints) {
+        std::cout << "{\n  \"result\":\n" << core::to_json(ws->program().name(), run, 1)
+                  << ",\n  \"footprints\":\n"
+                  << core::to_json(footprints, ws->hierarchy(), 1) << "\n}\n";
+      } else {
+        std::cout << core::to_json(ws->program().name(), run) << "\n";
+      }
     } else {
       std::cout << sim::format_four_points(ws->program().name(), run.points) << "\n"
                 << sim::format_result(run.points.mhla_te);
+      if (options.footprints) {
+        std::cout << "\nfootprints (live bytes per layer x top-level nest, final assignment):\n";
+        core::Table table({"layer", "capacity", "peak", "usage per nest"});
+        for (std::size_t l = 0; l < footprints.usage.size(); ++l) {
+          const mem::MemLayer& layer = ws->hierarchy().layer(static_cast<int>(l));
+          std::ostringstream row;
+          for (std::size_t t = 0; t < footprints.usage[l].size(); ++t) {
+            row << footprints.usage[l][t] << (t + 1 < footprints.usage[l].size() ? " " : "");
+          }
+          table.add_row({layer.name,
+                         layer.unbounded() ? "unbounded" : std::to_string(layer.capacity_bytes),
+                         std::to_string(footprints.peak_bytes[l]), row.str()});
+        }
+        std::cout << table.str();
+      }
     }
     return 0;
   } catch (const std::exception& e) {

@@ -79,8 +79,9 @@ AnnealResult anneal_assign(const AssignContext& ctx, const AnnealOptions& option
     }
     if (!proposed) continue;
 
-    if ((needs_layering_check && !engine.layering_valid()) ||
-        !fits(ctx, engine.assignment())) {
+    bool feasible = options.use_footprint_tracker ? engine.fits()
+                                                  : fits(ctx, engine.assignment());
+    if ((needs_layering_check && !engine.layering_valid()) || !feasible) {
       engine.undo_to(cp);
       continue;
     }

@@ -24,6 +24,11 @@ struct AnnealOptions {
   double initial_temp = 0.05;   ///< start temperature, in normalized-scalar units
   double cooling = 0.997;       ///< geometric per-iteration temperature decay
   bool allow_array_migration = true;  ///< propose whole-array home moves
+
+  /// Answer per-proposal feasibility from the engine's incremental
+  /// FootprintTracker (O(1)) instead of a from-scratch `fits()` rebuild.
+  /// Verdicts are exact either way, so the walk is bit-identical.
+  bool use_footprint_tracker = true;
 };
 
 /// Result of one annealing walk.  `assignment` is the best feasible state

@@ -11,7 +11,8 @@ namespace mhla::assign {
 CostEngine::CostEngine(const AssignContext& ctx)
     : ctx_(ctx),
       num_layers_(ctx.hierarchy.num_layers()),
-      background_(ctx.hierarchy.background()) {
+      background_(ctx.hierarchy.background()),
+      footprint_(ctx) {
   const std::size_t L = static_cast<std::size_t>(num_layers_);
 
   // Assignment-independent compute cycles: one IR walk, accumulated exactly
@@ -198,6 +199,8 @@ void CostEngine::load(const Assignment& assignment) {
       }
     }
   }
+
+  footprint_.load(assignment_);
 }
 
 void CostEngine::set_serving(std::size_t site, int cc_id) {
@@ -214,6 +217,7 @@ void CostEngine::select_copy(int cc_id, int layer) {
   copy_layer_[c] = layer;
   assignment_.copies.push_back({cc_id, layer});
   undo_.push_back({UndoRec::Kind::CopyPush, cc_id, 0, 0});
+  footprint_.place_copy(cc_id, layer);
   for (int site : cc_sites_[c]) {
     std::size_t s = static_cast<std::size_t>(site);
     int cur = serving_cc_[s];
@@ -238,6 +242,7 @@ void CostEngine::remove_copy(int cc_id) {
   undo_.push_back({UndoRec::Kind::CopyErase, cc_id, copy_layer_[c], index});
   assignment_.copies.erase(assignment_.copies.begin() + index);
   copy_layer_[c] = -1;
+  footprint_.remove_copy(cc_id);
   for (int site : cc_sites_[c]) {
     std::size_t s = static_cast<std::size_t>(site);
     if (serving_cc_[s] != cc_id) continue;
@@ -261,6 +266,7 @@ void CostEngine::set_home(const std::string& array, int layer) {
   undo_.push_back({UndoRec::Kind::Home, static_cast<int>(a), home_[a], 0});
   home_[a] = layer;
   assignment_.array_layer[array_names_[a]] = layer;
+  footprint_.set_home(a, layer);
 }
 
 int CostEngine::migrate_array(const std::string& array, int layer) {
@@ -291,14 +297,17 @@ void CostEngine::undo_to(Checkpoint mark) {
       case UndoRec::Kind::CopyPush:
         assignment_.copies.pop_back();
         copy_layer_[static_cast<std::size_t>(rec.a)] = -1;
+        footprint_.undo_one();
         break;
       case UndoRec::Kind::CopyErase:
         assignment_.copies.insert(assignment_.copies.begin() + rec.c, {rec.a, rec.b});
         copy_layer_[static_cast<std::size_t>(rec.a)] = rec.b;
+        footprint_.undo_one();
         break;
       case UndoRec::Kind::Home:
         home_[static_cast<std::size_t>(rec.a)] = rec.b;
         assignment_.array_layer[array_names_[static_cast<std::size_t>(rec.a)]] = rec.b;
+        footprint_.undo_one();
         break;
     }
   }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "assign/cost.h"
+#include "assign/footprint_tracker.h"
 
 namespace mhla::assign {
 
@@ -106,6 +107,15 @@ class CostEngine {
   /// True iff every selected copy sits strictly closer to the processor than
   /// its parent store.  O(copies x chain depth), no resolve.
   bool layering_valid() const;
+
+  /// O(1) feasibility of the live assignment — exactly
+  /// `fits(ctx, assignment())`, answered from the composed FootprintTracker
+  /// (maintained in lockstep with every move and undo).
+  bool fits() const { return footprint_.feasible(); }
+
+  /// The composed tracker, for searches that need the usage matrix itself
+  /// (the branch-and-bound capacity pruning reads single cells).
+  const FootprintTracker& footprint() const { return footprint_; }
 
   // --------------------------------------------------------- evaluation
   /// The scalar-relevant accumulators of a CostEstimate, without the
@@ -250,6 +260,7 @@ class CostEngine {
   std::vector<int> serving_cc_;   ///< site -> deepest selected covering cc or -1
   std::vector<int> home_;         ///< array index -> home layer
   std::vector<UndoRec> undo_;
+  FootprintTracker footprint_;    ///< usage matrix, mirrored move for move
 };
 
 }  // namespace mhla::assign

@@ -143,8 +143,6 @@ struct EngineSearch {
   long bound_prunes = 0;
   long capacity_prunes = 0;
   bool bnb = true;            ///< pruning on; off = state-exact mirror of the reference
-  int overfull_cells = 0;     ///< mirror mode: overflowing (layer, nest) cells on the path
-  bool base_infeasible_ = false;  ///< mirror mode: array homes alone overflow a layer
 
   /// Shared incumbent of a parallel search (null when serial).  Tasks
   /// publish every locally improving scalar and prune against it *strictly*
@@ -183,7 +181,6 @@ struct EngineSearch {
   // -- per copy phase --
   std::vector<double> site_lb_e_;  ///< current per-site bound contribution
   std::vector<double> site_lb_c_;
-  std::vector<std::vector<i64>> usage_;  ///< [layer][nest] running footprint
 
   /// Backtracking journal for the per-site bound contributions; tighten
   /// pushes the displaced values, restore pops to a mark.  One flat stack
@@ -291,8 +288,11 @@ struct EngineSearch {
     // With pruning on, feasibility holds by construction: every placement on
     // the path passed the incremental (layer, nest) footprint check.  The
     // mirror mode visits infeasible states like the reference does and
-    // rejects them here — the running footprint makes the check O(1).
-    if (base_infeasible_ || overfull_cells > 0) return;
+    // rejects them here — the engine's tracker makes the check O(1); the
+    // reference-feasibility toggle recomputes from scratch instead.
+    bool feasible = options.use_footprint_tracker ? engine.fits()
+                                                  : fits(ctx, engine.assignment());
+    if (!feasible) return;
     if (!engine.layering_valid()) return;
     double scalar = engine.scalar(objective);
     if (scalar < best_scalar) {
@@ -357,14 +357,20 @@ struct EngineSearch {
     for (int layer = 0; layer < ctx.hierarchy.background(); ++layer) {
       const mem::MemLayer& target = ctx.hierarchy.layer(layer);
       if (!target.unbounded() && cc.bytes > target.capacity_bytes) continue;
-      i64& cell = usage_[static_cast<std::size_t>(layer)][static_cast<std::size_t>(cc.nest)];
-      bool overflows = !target.unbounded() && cell + cc.bytes > target.capacity_bytes;
+      // The engine's tracker carries the cumulative (layer, nest) footprint
+      // of the whole path — array homes plus the copies selected so far —
+      // so one cell read decides whether this placement can still fit.
+      // Copy selection only ever adds footprint: an overflowing branch has
+      // no feasible completion and branch-and-bound cuts it here; the
+      // mirror mode enters it like the reference does and lets the leaf
+      // feasibility check reject it.
+      bool overflows = !target.unbounded() &&
+                       engine.footprint().usage(layer, cc.nest) + cc.bytes >
+                           target.capacity_bytes;
       if (overflows && bnb) {
         ++capacity_prunes;
         continue;
       }
-      cell += cc.bytes;
-      if (overflows) ++overfull_cells;
       CostEngine::Checkpoint cp = engine.checkpoint();
       engine.select_copy(cc.id, layer);
       Bound child = bound;
@@ -379,18 +385,17 @@ struct EngineSearch {
       recurse_copies(j + 1, child);
       if (bnb) restore_sites(mark);
       engine.undo_to(cp);
-      if (overflows) --overfull_cells;
-      cell -= cc.bytes;
     }
   }
 
   void enter_copy_phase() {
     // Array homes are fixed from here on: the pinned traffic and the
-    // array-only footprint are exact.
-    FootprintReport base = compute_footprints(ctx, engine.assignment());
-    if (!base.feasible && bnb) return;  // no copy subset can shrink an array overflow
-    base_infeasible_ = !base.feasible;
-    usage_ = std::move(base.usage);
+    // array-only footprint are exact.  No copies are selected yet, so the
+    // engine's tracker holds exactly the homes-only footprint.
+    bool base_feasible = options.use_footprint_tracker
+                             ? engine.fits()
+                             : compute_footprints(ctx, engine.assignment()).feasible;
+    if (!base_feasible && bnb) return;  // no copy subset can shrink an array overflow
 
     Bound bound;
     if (bnb) {

@@ -27,6 +27,14 @@ struct ExhaustiveOptions {
   /// per-state evaluation throughput and by the equivalence tests.
   bool use_branch_and_bound = true;
 
+  /// Engine path only: answer leaf/base feasibility from the engine's
+  /// incremental FootprintTracker (O(1)) instead of a from-scratch
+  /// `compute_footprints` rebuild.  Verdicts are exact either way, so the
+  /// search result is bit-identical; the toggle exists for the equivalence
+  /// tests.  (The branch-and-bound capacity pruning always reads the
+  /// tracker's usage cells — it is integer-exact by construction.)
+  bool use_footprint_tracker = true;
+
   /// `exhaustive_parallel_assign` knobs; `seed_incumbent` also applies to
   /// the serial engine path when branch-and-bound is on.  The greedy seed
   /// only ever prunes (strictly, so tied states still enumerate) — the

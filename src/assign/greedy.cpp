@@ -148,7 +148,9 @@ GreedyResult greedy_assign_engine(const AssignContext& ctx, const GreedyOptions&
     // The candidate move is already applied to the engine when this runs;
     // it inspects the engine state and is followed by an undo.
     auto consider = [&](GreedyMove move) {
-      if (!fits(ctx, engine.assignment())) return;
+      bool feasible = options.use_footprint_tracker ? engine.fits()
+                                                    : fits(ctx, engine.assignment());
+      if (!feasible) return;
       if (move.kind == GreedyMove::Kind::SelectCopy && !engine.layering_valid()) return;
       double scalar = engine.scalar(objective);
       ++result.evaluations;

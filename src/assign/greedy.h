@@ -17,6 +17,13 @@ struct GreedyOptions {
   /// paths are bit-identical in every decision and result; the reference
   /// path exists for the equivalence tests and the search_scaling bench.
   bool use_cost_engine = true;
+
+  /// Engine path only: answer per-candidate feasibility from the engine's
+  /// incremental FootprintTracker (O(1)) instead of a from-scratch
+  /// `fits()` rebuild (O(arrays x nests)) per probe.  Verdicts are exact
+  /// either way, so the search result is bit-identical; the toggle exists
+  /// for the equivalence tests and the search_scaling feasibility bench.
+  bool use_footprint_tracker = true;
 };
 
 /// Trace entry for one accepted move, for diagnostics and the tool-runtime

@@ -52,6 +52,7 @@ GreedyOptions to_greedy_options(const SearchOptions& options) {
   greedy.max_moves = options.max_moves;
   greedy.allow_array_migration = options.allow_array_migration;
   greedy.use_cost_engine = options.use_cost_engine;
+  greedy.use_footprint_tracker = options.use_footprint_tracker;
   return greedy;
 }
 
@@ -63,6 +64,7 @@ ExhaustiveOptions to_exhaustive_options(const SearchOptions& options) {
   exhaustive.allow_array_migration = options.allow_array_migration;
   exhaustive.use_cost_engine = options.use_cost_engine;
   exhaustive.use_branch_and_bound = options.use_branch_and_bound;
+  exhaustive.use_footprint_tracker = options.use_footprint_tracker;
   exhaustive.num_threads = options.bnb_threads;
   exhaustive.tasks_per_thread = options.bnb_tasks_per_thread;
   exhaustive.seed_incumbent = options.bnb_seed_incumbent;
@@ -78,6 +80,7 @@ AnnealOptions to_anneal_options(const SearchOptions& options) {
   anneal.initial_temp = options.anneal_initial_temp;
   anneal.cooling = options.anneal_cooling;
   anneal.allow_array_migration = options.allow_array_migration;
+  anneal.use_footprint_tracker = options.use_footprint_tracker;
   return anneal;
 }
 

@@ -57,6 +57,13 @@ struct SearchOptions {
   bool use_cost_engine = true;
   bool use_branch_and_bound = true;
 
+  /// Answer feasibility probes from the engine's incremental
+  /// FootprintTracker instead of a from-scratch `fits()` rebuild per probe
+  /// (engine-backed strategies: greedy, bnb, bnb-par, exhaustive, anneal).
+  /// Verdicts are exact either way, so results are bit-identical; off is
+  /// the reference path for the equivalence tests.
+  bool use_footprint_tracker = true;
+
   /// "bnb-par" knobs: parallel branch-and-bound over root-frontier subtree
   /// tasks sharing one atomic incumbent bound.  The result is bit-identical
   /// to serial "bnb" for any thread count (the incumbent only prunes); the

@@ -225,6 +225,31 @@ std::string to_json(const std::vector<xplore::TradeoffPoint>& points, int indent
   return out.str();
 }
 
+std::string to_json(const assign::FootprintReport& report, const mem::Hierarchy& hierarchy,
+                    int indent) {
+  std::ostringstream out = c_stream();
+  std::string p0 = pad(indent);
+  std::string p1 = pad(indent + 1);
+  std::string p2 = pad(indent + 2);
+  out << p0 << "{\n";
+  out << p1 << "\"feasible\": " << bool_text(report.feasible) << ",\n";
+  out << p1 << "\"layers\": [\n";
+  for (std::size_t l = 0; l < report.usage.size(); ++l) {
+    const mem::MemLayer& layer = hierarchy.layer(static_cast<int>(l));
+    out << p2 << "{\"name\": \"" << json_escape(layer.name)
+        << "\", \"capacity_bytes\": " << layer.capacity_bytes
+        << ", \"peak_bytes\": " << report.peak_bytes[l] << ", \"usage\": [";
+    const std::vector<ir::i64>& row = report.usage[l];
+    for (std::size_t t = 0; t < row.size(); ++t) {
+      out << row[t] << (t + 1 < row.size() ? ", " : "");
+    }
+    out << "]}" << (l + 1 < report.usage.size() ? "," : "") << "\n";
+  }
+  out << p1 << "]\n";
+  out << p0 << "}";
+  return out.str();
+}
+
 std::string to_json(const PipelineConfig& config, int indent) {
   std::ostringstream out = c_stream();
   std::string p0 = pad(indent);
@@ -261,6 +286,7 @@ std::string to_json(const PipelineConfig& config, int indent) {
       << ", \"allow_array_migration\": " << bool_text(search.allow_array_migration)
       << ", \"use_cost_engine\": " << bool_text(search.use_cost_engine)
       << ", \"use_branch_and_bound\": " << bool_text(search.use_branch_and_bound)
+      << ", \"use_footprint_tracker\": " << bool_text(search.use_footprint_tracker)
       << ",\n" << p1 << "             \"anneal_iterations\": " << search.anneal_iterations
       << ", \"anneal_seed\": " << search.anneal_seed
       << ", \"anneal_initial_temp\": " << num_exact(search.anneal_initial_temp)
@@ -270,7 +296,8 @@ std::string to_json(const PipelineConfig& config, int indent) {
       << ", \"bnb_seed_incumbent\": " << bool_text(search.bnb_seed_incumbent) << "},\n";
   out << p1 << "\"te\": {\"order\": \"" << order_name(config.te.order)
       << "\", \"max_lookahead\": " << config.te.max_lookahead
-      << ", \"charge_cold_start\": " << bool_text(config.te.charge_cold_start) << "},\n";
+      << ", \"charge_cold_start\": " << bool_text(config.te.charge_cold_start)
+      << ", \"use_footprint_tracker\": " << bool_text(config.te.use_footprint_tracker) << "},\n";
   out << p1 << "\"num_threads\": " << config.num_threads << "\n";
   out << p0 << "}";
   return out.str();
@@ -334,6 +361,7 @@ PipelineConfig pipeline_config_from_json(const std::string& text) {
                    .field("allow_array_migration", search.allow_array_migration, as_bool)
                    .field("use_cost_engine", search.use_cost_engine, as_bool)
                    .field("use_branch_and_bound", search.use_branch_and_bound, as_bool)
+                   .field("use_footprint_tracker", search.use_footprint_tracker, as_bool)
                    .field("anneal_iterations", search.anneal_iterations, as_int)
                    .field("anneal_seed", search.anneal_seed, as_integer<std::uint32_t>)
                    .field("anneal_initial_temp", search.anneal_initial_temp, as_double)
@@ -349,7 +377,8 @@ PipelineConfig pipeline_config_from_json(const std::string& text) {
                ObjectReader(j, "te")
                    .field("order", te.order, [](const Json& o) { return parse_order(o.string()); })
                    .field("max_lookahead", te.max_lookahead, as_int)
-                   .field("charge_cold_start", te.charge_cold_start, as_bool);
+                   .field("charge_cold_start", te.charge_cold_start, as_bool)
+                   .field("use_footprint_tracker", te.use_footprint_tracker, as_bool);
                return te;
              })
       .field("num_threads", config.num_threads, as_unsigned);

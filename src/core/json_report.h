@@ -27,6 +27,12 @@ std::string to_json(const std::string& app_name, const PipelineResult& result, i
 /// A trade-off sample set (e.g. a sweep or its Pareto frontier).
 std::string to_json(const std::vector<xplore::TradeoffPoint>& points, int indent = 0);
 
+/// A footprint report (per-layer/per-nest live bytes, peaks, feasibility);
+/// layer names and capacities come from the hierarchy.  Backs the CLI's
+/// `--footprints --json` dump.
+std::string to_json(const assign::FootprintReport& report, const mem::Hierarchy& hierarchy,
+                    int indent = 0);
+
 /// A pipeline configuration.  Doubles are emitted with enough digits that
 /// `pipeline_config_from_json(to_json(c)) == c` holds exactly.
 std::string to_json(const PipelineConfig& config, int indent = 0);

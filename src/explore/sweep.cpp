@@ -1,9 +1,9 @@
 #include "explore/sweep.h"
 
 #include <algorithm>
-#include <limits>
 #include <utility>
 
+#include "assign/footprint_tracker.h"
 #include "core/parallel_for.h"
 
 namespace mhla::xplore {
@@ -27,20 +27,6 @@ std::vector<i64> unique_sizes(const std::vector<i64>& sizes) {
   return unique;
 }
 
-/// Bytes of the cheapest object a search could place on-chip: the smallest
-/// array and the smallest non-degenerate copy-candidate box.  A bounded
-/// layer strictly below this can never hold anything.
-i64 min_placeable_bytes(const ir::Program& program, const analysis::ReuseAnalysis& reuse) {
-  i64 min_bytes = std::numeric_limits<i64>::max();
-  for (const ir::ArrayDecl& array : program.arrays()) {
-    if (array.bytes() > 0) min_bytes = std::min(min_bytes, array.bytes());
-  }
-  for (const analysis::CopyCandidate& cc : reuse.candidates()) {
-    if (cc.elems > 0 && cc.bytes > 0) min_bytes = std::min(min_bytes, cc.bytes);
-  }
-  return min_bytes;
-}
-
 }  // namespace
 
 std::vector<SweepSample> sweep_layer_sizes(const ir::Program& program, const SweepConfig& config) {
@@ -56,7 +42,9 @@ std::vector<SweepSample> sweep_layer_sizes(const ir::Program& program, const Swe
   std::map<std::string, analysis::LiveRange> live = analysis::array_live_ranges(program, sites);
   analysis::DependenceInfo deps = analysis::DependenceInfo::run(program, sites);
 
-  const i64 min_placeable = min_placeable_bytes(program, reuse);
+  // Hierarchy-independent half of the tracker's out-of-box probe, hoisted
+  // out of the per-cell loop.
+  const i64 min_placeable = assign::FootprintTracker::min_placeable_bytes(program, reuse);
 
   // Flatten the grid in the canonical (L2 outer, L1 inner) order; each cell
   // writes only its own slot, so the result is identical for any thread
@@ -82,11 +70,12 @@ std::vector<SweepSample> sweep_layer_sizes(const ir::Program& program, const Swe
 
     // A cell whose every on-chip layer is below the cheapest placeable
     // object can never leave the out-of-box assignment: no copy and no
-    // migration fits, so every strategy returns out-of-box.  Skip the
-    // search and sample the out-of-box simulation directly.
-    auto layer_useless = [&](i64 capacity) { return capacity <= 0 || capacity < min_placeable; };
+    // migration fits, so every strategy returns out-of-box.  The tracker's
+    // out-of-box probe decides this per hierarchy; skip the search and
+    // sample the out-of-box simulation directly.
     bool provably_out_of_box =
-        config.skip_infeasible && layer_useless(l1) && layer_useless(l2);
+        config.skip_infeasible &&
+        assign::FootprintTracker::provably_out_of_box(hierarchy, min_placeable);
 
     assign::Assignment assignment = provably_out_of_box
                                         ? assign::out_of_box(ctx)

@@ -21,6 +21,13 @@ struct TeOptions {
   /// refinement benches/tests turn it on.
   bool charge_cold_start = false;
 
+  /// Probe each freedom unit on an incremental assign::FootprintTracker
+  /// (speculative extend, undo on rejection) instead of cloning the
+  /// extension vector and recomputing every footprint from scratch per
+  /// unit.  Decisions are exact either way, so the TE result is
+  /// bit-identical; off is the reference path for the equivalence tests.
+  bool use_footprint_tracker = true;
+
   friend bool operator==(const TeOptions&, const TeOptions&) = default;
 };
 

@@ -67,12 +67,14 @@ PipelineConfig custom_config() {
   config.search.allow_array_migration = false;
   config.search.use_cost_engine = false;
   config.search.use_branch_and_bound = false;
+  config.search.use_footprint_tracker = false;
   config.search.bnb_threads = 6;
   config.search.bnb_tasks_per_thread = 2;
   config.search.bnb_seed_incumbent = false;
   config.te.order = te::ExtensionOrder::BySizeDescending;
   config.te.max_lookahead = 5;
   config.te.charge_cold_start = true;
+  config.te.use_footprint_tracker = false;
   config.num_threads = 3;
   return config;
 }

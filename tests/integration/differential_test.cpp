@@ -7,6 +7,9 @@
 //   bnb      vs exhaustive-ref — identical optimum (pruning never changes it)
 //   bnb-par  vs bnb            — identical optimum for any thread count
 //   greedy / anneal            — scalar dominated by the exact optimum
+//   tracker on vs off          — greedy/bnb/anneal unchanged when feasibility
+//                                comes from the incremental FootprintTracker
+//                                instead of a from-scratch fits() per probe
 //
 // Corpus size: MHLA_DIFF_SEEDS (default 50).  CI runs the full corpus in
 // Release and a reduced one under ASan (the generator is seeded, so seed k
@@ -69,6 +72,15 @@ TEST(Differential, RegistryStrategyPairsAgreeOverRandomCorpus) {
     EXPECT_TRUE(assign::layering_valid(ctx, greedy.assignment));
     ++greedy_compared;
 
+    // Feasibility pair: the tracker-backed fits() must not change a single
+    // decision relative to the from-scratch rebuild per probe.
+    assign::SearchOptions scratch_fits = options;
+    scratch_fits.use_footprint_tracker = false;
+    assign::SearchResult greedy_scratch = assign::searcher("greedy").search(ctx, scratch_fits);
+    EXPECT_EQ(greedy_scratch.assignment, greedy.assignment);
+    EXPECT_EQ(greedy_scratch.scalar, greedy.scalar);
+    EXPECT_EQ(greedy_scratch.evaluations, greedy.evaluations);
+
     // Exact pair: branch-and-bound against the un-pruned reference
     // enumeration, where the reference guard admits the instance and
     // neither search runs out of budget.
@@ -83,6 +95,13 @@ TEST(Differential, RegistryStrategyPairsAgreeOverRandomCorpus) {
         EXPECT_EQ(bnb.assignment, reference.assignment);
         EXPECT_EQ(bnb.scalar, reference.scalar);
         EXPECT_LE(bnb.states_explored, reference.states_explored);
+        assign::SearchOptions exact_scratch_fits = exact;
+        exact_scratch_fits.use_footprint_tracker = false;
+        assign::SearchResult bnb_scratch =
+            assign::searcher("bnb").search(ctx, exact_scratch_fits);
+        EXPECT_EQ(bnb_scratch.assignment, bnb.assignment);
+        EXPECT_EQ(bnb_scratch.scalar, bnb.scalar);
+        EXPECT_EQ(bnb_scratch.states_explored, bnb.states_explored);
         have_optimum = true;
         optimum = std::move(bnb);
         ++exact_compared;
@@ -125,6 +144,12 @@ TEST(Differential, RegistryStrategyPairsAgreeOverRandomCorpus) {
       assign::SearchResult anneal = assign::searcher("anneal").search(ctx, options);
       EXPECT_TRUE(assign::fits(ctx, anneal.assignment));
       EXPECT_GE(anneal.scalar, optimum.scalar * (1.0 - 1e-9));
+      // The stochastic walk rejects proposals on the feasibility verdict,
+      // so the tracker toggle must reproduce the identical chain.
+      assign::SearchResult anneal_scratch = assign::searcher("anneal").search(ctx, scratch_fits);
+      EXPECT_EQ(anneal_scratch.assignment, anneal.assignment);
+      EXPECT_EQ(anneal_scratch.scalar, anneal.scalar);
+      EXPECT_EQ(anneal_scratch.evaluations, anneal.evaluations);
       ++dominance_checked;
     }
   }
