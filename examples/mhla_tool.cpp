@@ -26,13 +26,31 @@
 //   --corpus          explore every registry application in one invocation
 //   --budget <n>      --explore/--corpus: cap on sampled cells (0 = off)
 //   --cache <file>    --explore/--corpus: persistent result cache (JSON)
+//   --deadline <s>    wall-clock run budget in seconds (0 = unbounded); an
+//                     expired budget degrades the run (best-so-far result,
+//                     status budget_exhausted) instead of failing it
+//   --max-probes <n>  deterministic run budget in search probes (0 = off) —
+//                     same degradation, reproducible truncation point
 //   --dump-config     print the effective PipelineConfig JSON and exit
 //   --footprints      dump the per-layer/per-nest usage matrix and peaks of
 //                     the final (time-extended) assignment; combined with
 //                     --json the dump rides in the result document
 //   --verbose         also print the program and the chosen assignment
 //   --json            machine-readable result (strategy, timings, points)
+//
+// Exit codes:
+//   0  success
+//   1  unexpected internal error
+//   2  usage error (bad flags; this listing)
+//   3  validation error (bad config value, unknown app/strategy, bad input)
+//   4  run budget exhausted (single pipeline run returned a degraded,
+//      best-so-far result — output is still complete and well-formed)
+//   5  I/O failure (unreadable/unwritable file, cache persistence)
+//
+// Errors always produce one structured line on stderr ("error: ...");
+// under --json a machine-readable {"error": {...}} object goes to stdout.
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -75,8 +93,11 @@ int usage(const char* argv0) {
                "       [--config <file.json>] [--l1 <bytes>] [--l2 <bytes>]\n"
                "       [--target energy|time|balanced] [--strategy <name>] [--threads <n>]\n"
                "       [--bnb-threads <n>] [--no-dma] [--sweep] [--explore] [--corpus]\n"
-               "       [--budget <n>] [--cache <file.json>] [--dump-config] [--footprints]\n"
+               "       [--budget <n>] [--cache <file.json>] [--deadline <seconds>]\n"
+               "       [--max-probes <n>] [--dump-config] [--footprints]\n"
                "       [--verbose] [--json]\n\n"
+               "exit codes: 0 ok, 1 internal, 2 usage, 3 validation,\n"
+               "            4 run budget exhausted (degraded result), 5 I/O\n\n"
                "strategies:\n";
   for (const std::string& name : assign::searcher_names()) {
     std::cerr << "  " << name << " — " << assign::searcher(name).description() << "\n";
@@ -153,6 +174,16 @@ bool parse_args(int argc, char** argv, Options& options) {
       if (options.budget < 0) throw std::invalid_argument("--budget must be >= 0");
     } else if (arg == "--cache") {
       options.cache = next();
+    } else if (arg == "--deadline") {
+      options.pipeline.search.budget.deadline_seconds = std::stod(next());
+      if (options.pipeline.search.budget.deadline_seconds < 0) {
+        throw std::invalid_argument("--deadline must be >= 0");
+      }
+    } else if (arg == "--max-probes") {
+      options.pipeline.search.budget.max_probes = std::stol(next());
+      if (options.pipeline.search.budget.max_probes < 0) {
+        throw std::invalid_argument("--max-probes must be >= 0");
+      }
     } else if (arg == "--dump-config") {
       options.dump_config = true;
     } else if (arg == "--footprints") {
@@ -248,6 +279,18 @@ void run_corpus(const Options& options) {
             << " cache hits\n";
 }
 
+/// The structured error path of the top-level boundary: one parseable line
+/// on stderr always, plus a machine-readable object on stdout under --json
+/// (so a consumer of the JSON stream never has to scrape stderr).
+int fail(const Options& options, const std::string& kind, const std::string& what, int code) {
+  std::cerr << "error: " << what << "\n";
+  if (options.json) {
+    std::cout << "{\"error\": {\"kind\": \"" << kind << "\", \"message\": \""
+              << core::json_escape(what) << "\"}}\n";
+  }
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -334,9 +377,20 @@ int main(int argc, char** argv) {
         std::cout << table.str();
       }
     }
-    return 0;
+    // Exit 4 signals the degraded (best-so-far) outcome of a bounded single
+    // run: the output above is complete and well-formed, scripts just learn
+    // the search did not run to its natural end.  Explorer/corpus cell
+    // budgets are a sampling knob, not a failure, and stay exit 0.
+    return run.search.status == assign::SearchStatus::BudgetExhausted ? 4 : 0;
+  } catch (const std::invalid_argument& e) {
+    return fail(options, "validation", e.what(), 3);
+  } catch (const std::out_of_range& e) {
+    return fail(options, "validation", e.what(), 3);
+  } catch (const std::filesystem::filesystem_error& e) {
+    return fail(options, "io", e.what(), 5);
+  } catch (const std::runtime_error& e) {
+    return fail(options, "io", e.what(), 5);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return fail(options, "internal", e.what(), 1);
   }
 }

@@ -1,6 +1,7 @@
 #include "assign/anneal.h"
 
 #include <cmath>
+#include <optional>
 #include <random>
 
 #include "assign/cost_engine.h"
@@ -37,8 +38,22 @@ AnnealResult anneal_assign(const AssignContext& ctx, const AnnealOptions& option
   const auto& arrays = ctx.program.arrays();
   const std::size_t num_kinds = options.allow_array_migration ? 3 : 2;
 
+  // One probe per iteration, checked before the proposal is drawn: an
+  // expired budget truncates the walk at an iteration boundary, where the
+  // engine holds the last accepted state and the best tracker is complete.
+  std::optional<core::RunBudget> local_budget;
+  core::RunBudget* budget = options.shared_budget;
+  if (!budget) {
+    local_budget.emplace(options.budget);
+    budget = &*local_budget;
+  }
+
   double temp = options.initial_temp;
   for (int iter = 0; iter < options.iterations; ++iter, temp *= options.cooling) {
+    if (!budget->probe()) {
+      result.status = SearchStatus::BudgetExhausted;
+      break;
+    }
     // Propose one move on the engine; `proposed` stays false when the draw
     // lands on nothing applicable (the iteration still cools the chain).
     CostEngine::Checkpoint cp = engine.checkpoint();

@@ -4,6 +4,8 @@
 
 #include "assign/cost.h"
 #include "assign/inplace.h"
+#include "assign/search_status.h"
+#include "core/run_budget.h"
 
 namespace mhla::assign {
 
@@ -29,6 +31,13 @@ struct AnnealOptions {
   /// FootprintTracker (O(1)) instead of a from-scratch `fits()` rebuild.
   /// Verdicts are exact either way, so the walk is bit-identical.
   bool use_footprint_tracker = true;
+
+  /// Cooperative run budget: one probe per iteration, checked before the
+  /// proposal is drawn, so an expired budget truncates the walk at an
+  /// iteration boundary and the best-so-far state is returned (status
+  /// BudgetExhausted).  `shared_budget` takes precedence over `budget`.
+  core::BudgetSpec budget;
+  core::RunBudget* shared_budget = nullptr;
 };
 
 /// Result of one annealing walk.  `assignment` is the best feasible state
@@ -39,6 +48,10 @@ struct AnnealResult {
   double scalar = 0.0;  ///< objective of the best state
   int evaluations = 0;  ///< feasible proposals scored
   int accepted = 0;     ///< proposals accepted by the Metropolis rule
+
+  /// Feasible on completion, BudgetExhausted when the run budget truncated
+  /// the walk; the best-so-far assignment is returned either way.
+  SearchStatus status = SearchStatus::Feasible;
 };
 
 /// Simulated-annealing search over copy selections and array homes.

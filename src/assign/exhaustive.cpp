@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "assign/cost_engine.h"
 #include "assign/greedy.h"
 #include "core/parallel_for.h"
+#include "core/run_budget.h"
 
 namespace mhla::assign {
 
@@ -46,9 +48,14 @@ struct SearchState {
   double best_scalar;
   long states = 0;
   bool budget_hit = false;
+  core::RunBudget* run_budget = nullptr;
 
   void evaluate(const Assignment& assignment) {
     if (budget_hit) return;
+    if (run_budget && !run_budget->probe()) {
+      budget_hit = true;
+      return;
+    }
     if (++states > options.max_states) {
       budget_hit = true;
       return;
@@ -86,6 +93,10 @@ struct SearchState {
   /// Choose a home layer for each array, then enumerate copies.
   void recurse_arrays(Assignment& assignment, std::size_t index) {
     if (budget_hit) return;
+    if (run_budget && !run_budget->probe()) {
+      budget_hit = true;
+      return;
+    }
     const auto& arrays = ctx.program.arrays();
     if (index == arrays.size()) {
       recurse_copies(assignment, 0);
@@ -105,9 +116,38 @@ struct SearchState {
   }
 };
 
-ExhaustiveResult exhaustive_reference(const AssignContext& ctx, const ExhaustiveOptions& options) {
+/// Stamp the anytime contract fields onto a finished (or truncated) result:
+/// map a completed run to Optimal/gap 0; on a truncated run substitute the
+/// greedy fallback when it beats the incumbent, certify the gap against the
+/// global root lower bound when one exists (engine B&B), and verify the
+/// returned assignment is actually consumable.
+void finalize_anytime(ExhaustiveResult& result, const AssignContext& ctx, bool budget_hit,
+                      bool have_bound, double lower_bound, const GreedyResult* fallback) {
+  result.exhausted_budget = budget_hit;
+  if (have_bound) result.lower_bound = lower_bound;
+  if (!budget_hit) {
+    result.status = SearchStatus::Optimal;
+    result.gap = 0.0;
+    return;
+  }
+  if (fallback && fallback->final_scalar < result.scalar) {
+    result.assignment = fallback->assignment;
+    result.scalar = fallback->final_scalar;
+  }
+  result.status = fits(ctx, result.assignment) && layering_valid(ctx, result.assignment)
+                      ? SearchStatus::BudgetExhausted
+                      : SearchStatus::Infeasible;
+  if (have_bound && result.scalar > 0.0) {
+    result.gap = std::max(0.0, (result.scalar - lower_bound) / result.scalar);
+  } else {
+    result.gap = -1.0;
+  }
+}
+
+ExhaustiveResult exhaustive_reference(const AssignContext& ctx, const ExhaustiveOptions& options,
+                                      core::RunBudget* run_budget) {
   SearchState state{ctx, options, make_objective(ctx, options.energy_weight, options.time_weight),
-                    out_of_box(ctx), 0.0, 0, false};
+                    out_of_box(ctx), 0.0, 0, false, run_budget};
   state.best_scalar = state.objective.scalar(estimate_cost(ctx, state.best));
 
   Assignment scratch = out_of_box(ctx);
@@ -117,7 +157,7 @@ ExhaustiveResult exhaustive_reference(const AssignContext& ctx, const Exhaustive
   result.assignment = std::move(state.best);
   result.scalar = state.best_scalar;
   result.states_explored = state.states;
-  result.exhausted_budget = state.budget_hit;
+  finalize_anytime(result, ctx, state.budget_hit, /*have_bound=*/false, 0.0, nullptr);
   return result;
 }
 
@@ -143,6 +183,13 @@ struct EngineSearch {
   long bound_prunes = 0;
   long capacity_prunes = 0;
   bool bnb = true;            ///< pruning on; off = state-exact mirror of the reference
+
+  /// Cooperative run budget (never null in practice: the entry points
+  /// always resolve one, if only an unlimited local).  Probed once per
+  /// evaluated leaf and once per array-phase node; never affects any
+  /// decision unless it expires, so run-to-completion results are
+  /// bit-identical with or without a budget attached.
+  core::RunBudget* run_budget = nullptr;
 
   /// Shared incumbent of a parallel search (null when serial).  Tasks
   /// publish every locally improving scalar and prune against it *strictly*
@@ -281,6 +328,10 @@ struct EngineSearch {
 
   void evaluate_leaf() {
     if (budget_hit) return;
+    if (run_budget && !run_budget->probe()) {
+      budget_hit = true;
+      return;
+    }
     if (++states > options.max_states) {
       budget_hit = true;
       return;
@@ -437,6 +488,10 @@ struct EngineSearch {
 
   void recurse_arrays(std::size_t index, Bound bound) {
     if (budget_hit) return;
+    if (run_budget && !run_budget->probe()) {
+      budget_hit = true;
+      return;
+    }
     if (bnb && prune(bound)) return;
     const auto& arrays = ctx.program.arrays();
     if (index == arrays.size()) {
@@ -452,6 +507,22 @@ struct EngineSearch {
       recurse_arrays(index + 1, child);
       engine.undo_to(cp);
     });
+  }
+
+  /// Global admissible scalar lower bound of the whole search (the root
+  /// bound of `run(0)` before any decision): every feasible assignment
+  /// costs at least this much.  Built from the static per-site/per-array
+  /// tables, so it is independent of the engine's current state — the
+  /// anytime gap certificate compares the incumbent against it.
+  double root_scalar_bound() {
+    Bound bound;
+    bound.exact_c = engine.compute_cycles();
+    const std::size_t S = engine.num_sites();
+    for (std::size_t s = 0; s < S; ++s) {
+      bound.opt_e += site_open_e_[s];
+      bound.opt_c += site_open_c_[s];
+    }
+    return objective.scalar_terms(bound.exact_e + bound.opt_e, bound.exact_c + bound.opt_c);
   }
 
   /// Run the search from array index `start` on; homes of arrays before
@@ -477,33 +548,45 @@ struct EngineSearch {
 /// A greedy run gives an *achievable* scalar, so pruning strictly above it
 /// can only discard non-optimal subtrees: admissible bounds satisfy
 /// lb <= optimum <= seed on any subtree holding an optimal state.  The seed
-/// rides in `shared_incumbent` — whose prune is strict — rather than the
-/// local best, so tie states (scalar == seed) still enumerate and the
-/// returned optimum is bit-identical to an unseeded search.
-double greedy_incumbent_seed(const AssignContext& ctx, const ExhaustiveOptions& options) {
+/// scalar rides in `shared_incumbent` — whose prune is strict — rather than
+/// the local best, so tie states (scalar == seed) still enumerate and the
+/// returned optimum is bit-identical to an unseeded search.  The full
+/// greedy result is kept as the anytime fallback: if the budget expires
+/// before the enumeration beats it, its assignment is the best answer.
+/// The seed search itself observes the run budget, so a cancelled run
+/// degrades all the way down.
+GreedyResult greedy_incumbent_seed(const AssignContext& ctx, const ExhaustiveOptions& options,
+                                   core::RunBudget* run_budget) {
   GreedyOptions greedy;
   greedy.energy_weight = options.energy_weight;
   greedy.time_weight = options.time_weight;
   greedy.allow_array_migration = options.allow_array_migration;
-  return greedy_assign(ctx, greedy).final_scalar;
+  greedy.shared_budget = run_budget;
+  return greedy_assign(ctx, greedy);
 }
 
-ExhaustiveResult exhaustive_engine(const AssignContext& ctx, const ExhaustiveOptions& options) {
+ExhaustiveResult exhaustive_engine(const AssignContext& ctx, const ExhaustiveOptions& options,
+                                   core::RunBudget* run_budget) {
   EngineSearch search(ctx, options);
+  search.run_budget = run_budget;
   core::AtomicMin seed(search.best_scalar);
+  std::optional<GreedyResult> fallback;
   if (search.bnb && options.seed_incumbent) {
-    seed.update(greedy_incumbent_seed(ctx, options));
+    fallback = greedy_incumbent_seed(ctx, options, run_budget);
+    seed.update(fallback->final_scalar);
     search.shared_incumbent = &seed;
   }
+  double root_lb = search.bnb ? search.root_scalar_bound() : 0.0;
   search.run(0);
 
   ExhaustiveResult result;
   result.assignment = std::move(search.best);
   result.scalar = search.best_scalar;
   result.states_explored = search.states;
-  result.exhausted_budget = search.budget_hit;
   result.bound_prunes = search.bound_prunes;
   result.capacity_prunes = search.capacity_prunes;
+  finalize_anytime(result, ctx, search.budget_hit, search.bnb, root_lb,
+                   fallback ? &*fallback : nullptr);
   return result;
 }
 
@@ -533,11 +616,14 @@ std::vector<std::vector<int>> split_root_frontier(const AssignContext& ctx,
   return frontier;
 }
 
-ExhaustiveResult exhaustive_parallel(const AssignContext& ctx, const ExhaustiveOptions& options) {
+ExhaustiveResult exhaustive_parallel(const AssignContext& ctx, const ExhaustiveOptions& options,
+                                     core::RunBudget* run_budget) {
   // One prototype carries the engine precompute and the bound tables; every
   // task copies it instead of rebuilding them.  Its out-of-box incumbent is
   // also the serial search's starting incumbent.
   EngineSearch prototype(ctx, options);
+  prototype.run_budget = run_budget;
+  double root_lb = prototype.root_scalar_bound();
 
   ExhaustiveResult result;
   result.assignment = prototype.best;
@@ -550,14 +636,22 @@ ExhaustiveResult exhaustive_parallel(const AssignContext& ctx, const ExhaustiveO
   // Unreachable while the background layer is unbounded (every array always
   // has at least one feasible home); kept as a cheap defense so a future
   // bounded-background hierarchy degrades to the serial no-leaves result.
-  if (tasks.empty()) return result;
+  if (tasks.empty()) {
+    finalize_anytime(result, ctx, /*budget_hit=*/false, /*have_bound=*/true, root_lb, nullptr);
+    return result;
+  }
 
   // The shared incumbent starts at the out-of-box scalar and, optionally,
   // the greedy scalar: both are costs of feasible assignments, so pruning
   // strictly above them never cuts an optimal state.  The seed is a bound
-  // only — the returned assignment always comes from the enumeration.
+  // only — the returned assignment always comes from the enumeration, with
+  // the greedy fallback substituted only on a budget-truncated run.
   core::AtomicMin incumbent(prototype.best_scalar);
-  if (options.seed_incumbent) incumbent.update(greedy_incumbent_seed(ctx, options));
+  std::optional<GreedyResult> fallback;
+  if (options.seed_incumbent) {
+    fallback = greedy_incumbent_seed(ctx, options, run_budget);
+    incumbent.update(fallback->final_scalar);
+  }
 
   struct TaskOutcome {
     Assignment best;
@@ -566,6 +660,7 @@ ExhaustiveResult exhaustive_parallel(const AssignContext& ctx, const ExhaustiveO
     bool budget_hit = false;
     long bound_prunes = 0;
     long capacity_prunes = 0;
+    bool ran = false;  ///< false when the budget expired before the task started
   };
   std::vector<TaskOutcome> outcomes(tasks.size());
   const auto& arrays = ctx.program.arrays();
@@ -578,21 +673,31 @@ ExhaustiveResult exhaustive_parallel(const AssignContext& ctx, const ExhaustiveO
     search.run(tasks[t].size());
     outcomes[t] = {std::move(search.best),      search.best_scalar,
                    search.states,               search.budget_hit,
-                   search.bound_prunes,         search.capacity_prunes};
-  });
+                   search.bound_prunes,         search.capacity_prunes,
+                   /*ran=*/true};
+  }, run_budget);
 
   // Canonical-order reduction: strict improvement keeps the earliest task on
-  // ties, exactly as the serial DFS keeps the first state it visits.
+  // ties, exactly as the serial DFS keeps the first state it visits.  A task
+  // the expired budget prevented from running leaves a default outcome that
+  // must not win the reduction — it only marks the run truncated.
+  bool budget_hit = false;
   for (TaskOutcome& outcome : outcomes) {
+    if (!outcome.ran) {
+      budget_hit = true;
+      continue;
+    }
     if (outcome.scalar < result.scalar) {
       result.scalar = outcome.scalar;
       result.assignment = std::move(outcome.best);
     }
     result.states_explored += outcome.states;
-    result.exhausted_budget = result.exhausted_budget || outcome.budget_hit;
+    budget_hit = budget_hit || outcome.budget_hit;
     result.bound_prunes += outcome.bound_prunes;
     result.capacity_prunes += outcome.capacity_prunes;
   }
+  finalize_anytime(result, ctx, budget_hit, /*have_bound=*/true, root_lb,
+                   fallback ? &*fallback : nullptr);
   return result;
 }
 
@@ -600,32 +705,55 @@ ExhaustiveResult exhaustive_parallel(const AssignContext& ctx, const ExhaustiveO
 
 namespace {
 
-void check_placement_guard(const AssignContext& ctx, std::size_t guard) {
+/// The guard throws only when there is nothing to bound the runtime: on the
+/// engine path a bounded run budget lifts it (anytime mode — the budget
+/// truncates the search where the guard would have refused it).
+void check_placement_guard(const AssignContext& ctx, std::size_t guard, bool anytime) {
   std::size_t placements = ctx.reuse.candidates().size() *
                            static_cast<std::size_t>(std::max(ctx.hierarchy.background(), 1));
-  if (placements > guard) {
-    throw std::invalid_argument(
-        "exhaustive_assign: instance too large (" + std::to_string(placements) +
-        " candidate placements, guard " + std::to_string(guard) + "); use greedy_assign");
-  }
+  if (placements <= guard || anytime) return;
+  throw std::invalid_argument(
+      "exhaustive_assign: instance too large (" + std::to_string(placements) +
+      " candidate placements, guard " + std::to_string(guard) +
+      "); use greedy_assign, or attach a run budget (deadline/max_probes/cancel) "
+      "for an anytime search");
+}
+
+/// Resolve the active budget token: the caller's shared token wins; else a
+/// local one is built from the spec.  A local token is created even for an
+/// unbounded spec so the fault injector's BudgetProbe site is always live.
+core::RunBudget* resolve_budget(const ExhaustiveOptions& options,
+                                std::optional<core::RunBudget>& local) {
+  if (options.shared_budget) return options.shared_budget;
+  local.emplace(options.budget);
+  return &*local;
+}
+
+bool has_bounded_budget(const ExhaustiveOptions& options) {
+  return options.shared_budget != nullptr || options.budget.bounded();
 }
 
 }  // namespace
 
 ExhaustiveResult exhaustive_assign(const AssignContext& ctx, const ExhaustiveOptions& options) {
+  bool anytime = options.use_cost_engine && has_bounded_budget(options);
   check_placement_guard(
-      ctx, options.use_cost_engine ? kEnginePlacementGuard : kReferencePlacementGuard);
-  return options.use_cost_engine ? exhaustive_engine(ctx, options)
-                                 : exhaustive_reference(ctx, options);
+      ctx, options.use_cost_engine ? kEnginePlacementGuard : kReferencePlacementGuard, anytime);
+  std::optional<core::RunBudget> local;
+  core::RunBudget* budget = resolve_budget(options, local);
+  return options.use_cost_engine ? exhaustive_engine(ctx, options, budget)
+                                 : exhaustive_reference(ctx, options, budget);
 }
 
 ExhaustiveResult exhaustive_parallel_assign(const AssignContext& ctx,
                                             const ExhaustiveOptions& options) {
-  check_placement_guard(ctx, kEnginePlacementGuard);
+  check_placement_guard(ctx, kEnginePlacementGuard, has_bounded_budget(options));
   ExhaustiveOptions forced = options;
   forced.use_cost_engine = true;
   forced.use_branch_and_bound = true;
-  return exhaustive_parallel(ctx, forced);
+  std::optional<core::RunBudget> local;
+  core::RunBudget* budget = resolve_budget(forced, local);
+  return exhaustive_parallel(ctx, forced, budget);
 }
 
 }  // namespace mhla::assign

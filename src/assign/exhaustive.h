@@ -2,6 +2,8 @@
 
 #include "assign/cost.h"
 #include "assign/inplace.h"
+#include "assign/search_status.h"
+#include "core/run_budget.h"
 
 namespace mhla::assign {
 
@@ -42,6 +44,15 @@ struct ExhaustiveOptions {
   unsigned num_threads = 0;    ///< worker threads (0 = hardware concurrency)
   int tasks_per_thread = 4;    ///< target root-frontier tasks per worker
   bool seed_incumbent = true;  ///< seed the incumbent bound with the greedy scalar
+
+  /// Cooperative run budget: one probe per evaluated state (plus one per
+  /// array-phase node, so prune-heavy searches still observe a deadline
+  /// promptly).  When the budget expires the search unwinds and returns
+  /// best-so-far with a certified optimality gap — see ExhaustiveResult.
+  /// A bounded budget also lifts the placement guard on the engine path
+  /// (anytime mode); `shared_budget` takes precedence over `budget`.
+  core::BudgetSpec budget;
+  core::RunBudget* shared_budget = nullptr;
 };
 
 /// Instance-size guards: candidate placements (candidates x on-chip layers)
@@ -54,16 +65,32 @@ struct ExhaustiveResult {
   Assignment assignment;
   double scalar = 0.0;
   long states_explored = 0;       ///< evaluated leaf states
-  bool exhausted_budget = false;  ///< true if the state budget was hit
+  bool exhausted_budget = false;  ///< true if a state/run budget was hit
   long bound_prunes = 0;     ///< subtrees cut by the lower bound (engine path)
   long capacity_prunes = 0;  ///< placements cut by cumulative capacity (engine path)
+
+  /// Anytime contract.  Optimal (gap == 0) when the enumeration ran to
+  /// completion; BudgetExhausted when `max_states` or the run budget bound,
+  /// in which case `assignment` is the best feasible state seen (the greedy
+  /// incumbent seed serves as a floor when branch-and-bound is on) and
+  /// `gap` certifies (scalar - lower_bound) / scalar against the global
+  /// admissible root lower bound — the true optimum lies within gap of the
+  /// returned scalar.  Without a bound (branch-and-bound off, or the
+  /// reference path) a truncated run reports gap = -1 (unknown).
+  SearchStatus status = SearchStatus::Optimal;
+  double gap = -1.0;
+  double lower_bound = 0.0;  ///< global admissible root bound (engine B&B only)
 };
 
 /// Enumerate every feasible (assignment of arrays to layers) x (subset of
 /// copy candidates with a layer each) configuration and return the best
 /// under the scalarized objective.  Intended as a test oracle for the greedy
 /// heuristic and for the search benchmarks; throws std::invalid_argument
-/// if the instance exceeds the placement guard of the selected path.
+/// if the instance exceeds the placement guard of the selected path —
+/// except on the engine path with a bounded run budget attached, where an
+/// over-guard instance runs in anytime mode: best-so-far plus certified
+/// gap when the budget expires (the guard exists to bound runtime, and a
+/// budget bounds it better).
 ExhaustiveResult exhaustive_assign(const AssignContext& ctx, const ExhaustiveOptions& options = {});
 
 /// Parallel branch-and-bound (registry strategy "bnb-par"): the array-home

@@ -43,7 +43,25 @@ GreedyResult greedy_assign_reference(const AssignContext& ctx, const GreedyOptio
 
   int background = ctx.hierarchy.background();
 
-  for (int accepted = 0; accepted < options.max_moves; ++accepted) {
+  // One probe per enumerated candidate, charged before the candidate is
+  // scored; expiry abandons the round before any move is applied, so the
+  // result is always the exact state after the last accepted move.  The
+  // reference and engine paths enumerate candidates identically, so they
+  // charge probes at identical points and a bounded budget truncates both
+  // at the same move.
+  std::optional<core::RunBudget> local_budget;
+  core::RunBudget* budget = options.shared_budget;
+  if (!budget) {
+    local_budget.emplace(options.budget);
+    budget = &*local_budget;
+  }
+  bool cancelled = false;
+  auto probe = [&]() {
+    if (!cancelled && !budget->probe()) cancelled = true;
+    return !cancelled;
+  };
+
+  for (int accepted = 0; accepted < options.max_moves && !cancelled; ++accepted) {
     std::optional<ScoredMove> best;
     double best_per_byte = 0.0;
 
@@ -65,9 +83,11 @@ GreedyResult greedy_assign_reference(const AssignContext& ctx, const GreedyOptio
 
     // Move type 1: select an unselected copy candidate onto an on-chip layer.
     for (const analysis::CopyCandidate& cc : ctx.reuse.candidates()) {
+      if (cancelled) break;
       if (result.assignment.has_copy(cc.id)) continue;
       if (cc.elems <= 0) continue;
       for (int layer = 0; layer < background; ++layer) {
+        if (!probe()) break;
         const mem::MemLayer& target = ctx.hierarchy.layer(layer);
         if (!target.unbounded() && cc.bytes > target.capacity_bytes) continue;
         Assignment next = result.assignment;
@@ -85,8 +105,10 @@ GreedyResult greedy_assign_reference(const AssignContext& ctx, const GreedyOptio
     // moves to) are dropped as part of the compound move.
     if (options.allow_array_migration) {
       for (const ir::ArrayDecl& array : ctx.program.arrays()) {
+        if (cancelled) break;
         int home = result.assignment.layer_of(array.name, background);
         for (int layer = 0; layer < ctx.hierarchy.num_layers(); ++layer) {
+          if (!probe()) break;
           if (layer == home) continue;
           const mem::MemLayer& target = ctx.hierarchy.layer(layer);
           if (!target.unbounded() && array.bytes() > target.capacity_bytes) continue;
@@ -108,6 +130,7 @@ GreedyResult greedy_assign_reference(const AssignContext& ctx, const GreedyOptio
     // configurations.  The objective strictly decreases with every accepted
     // move, so add/remove sequences cannot cycle.
     for (const PlacedCopy& pc : result.assignment.copies) {
+      if (!probe()) break;
       Assignment next = result.assignment;
       std::erase_if(next.copies,
                     [&](const PlacedCopy& other) { return other.cc_id == pc.cc_id; });
@@ -118,13 +141,14 @@ GreedyResult greedy_assign_reference(const AssignContext& ctx, const GreedyOptio
       consider(std::move(move), std::move(next));
     }
 
-    if (!best) break;
+    if (cancelled || !best) break;
     current_scalar -= best->move.gain;
     result.assignment = std::move(best->next);
     result.moves.push_back(std::move(best->move));
   }
 
   result.final_scalar = current_scalar;
+  result.status = cancelled ? SearchStatus::BudgetExhausted : SearchStatus::Feasible;
   return result;
 }
 
@@ -141,7 +165,22 @@ GreedyResult greedy_assign_engine(const AssignContext& ctx, const GreedyOptions&
 
   int background = ctx.hierarchy.background();
 
-  for (int accepted = 0; accepted < options.max_moves; ++accepted) {
+  // Identical probe points to the reference path (see there); charged
+  // before each candidate's checkpoint/apply, so expiry never leaves a
+  // speculative move on the engine.
+  std::optional<core::RunBudget> local_budget;
+  core::RunBudget* budget = options.shared_budget;
+  if (!budget) {
+    local_budget.emplace(options.budget);
+    budget = &*local_budget;
+  }
+  bool cancelled = false;
+  auto probe = [&]() {
+    if (!cancelled && !budget->probe()) cancelled = true;
+    return !cancelled;
+  };
+
+  for (int accepted = 0; accepted < options.max_moves && !cancelled; ++accepted) {
     std::optional<GreedyMove> best;
     double best_per_byte = 0.0;
 
@@ -167,9 +206,11 @@ GreedyResult greedy_assign_engine(const AssignContext& ctx, const GreedyOptions&
 
     // Move type 1: select an unselected copy candidate onto an on-chip layer.
     for (const analysis::CopyCandidate& cc : ctx.reuse.candidates()) {
+      if (cancelled) break;
       if (engine.has_copy(cc.id)) continue;
       if (cc.elems <= 0) continue;
       for (int layer = 0; layer < background; ++layer) {
+        if (!probe()) break;
         const mem::MemLayer& target = ctx.hierarchy.layer(layer);
         if (!target.unbounded() && cc.bytes > target.capacity_bytes) continue;
         CostEngine::Checkpoint cp = engine.checkpoint();
@@ -187,8 +228,10 @@ GreedyResult greedy_assign_engine(const AssignContext& ctx, const GreedyOptions&
     // as part of the compound move, all rewound by one checkpoint).
     if (options.allow_array_migration) {
       for (const ir::ArrayDecl& array : ctx.program.arrays()) {
+        if (cancelled) break;
         int home = engine.assignment().layer_of(array.name, background);
         for (int layer = 0; layer < ctx.hierarchy.num_layers(); ++layer) {
+          if (!probe()) break;
           if (layer == home) continue;
           const mem::MemLayer& target = ctx.hierarchy.layer(layer);
           if (!target.unbounded() && array.bytes() > target.capacity_bytes) continue;
@@ -207,6 +250,7 @@ GreedyResult greedy_assign_engine(const AssignContext& ctx, const GreedyOptions&
     // Move type 3: deselect a copy.  Indexed loop: apply/undo restores the
     // copies vector exactly, so positions stay stable across iterations.
     for (std::size_t i = 0; i < engine.assignment().copies.size(); ++i) {
+      if (!probe()) break;
       PlacedCopy pc = engine.assignment().copies[i];
       CostEngine::Checkpoint cp = engine.checkpoint();
       engine.remove_copy(pc.cc_id);
@@ -218,7 +262,7 @@ GreedyResult greedy_assign_engine(const AssignContext& ctx, const GreedyOptions&
       engine.undo_to(cp);
     }
 
-    if (!best) break;
+    if (cancelled || !best) break;
     switch (best->kind) {
       case GreedyMove::Kind::SelectCopy:
         engine.select_copy(best->cc_id, best->layer);
@@ -236,6 +280,7 @@ GreedyResult greedy_assign_engine(const AssignContext& ctx, const GreedyOptions&
 
   result.assignment = engine.assignment();
   result.final_scalar = current_scalar;
+  result.status = cancelled ? SearchStatus::BudgetExhausted : SearchStatus::Feasible;
   return result;
 }
 

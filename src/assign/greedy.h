@@ -2,6 +2,8 @@
 
 #include "assign/cost.h"
 #include "assign/inplace.h"
+#include "assign/search_status.h"
+#include "core/run_budget.h"
 
 namespace mhla::assign {
 
@@ -24,6 +26,15 @@ struct GreedyOptions {
   /// either way, so the search result is bit-identical; the toggle exists
   /// for the equivalence tests and the search_scaling feasibility bench.
   bool use_footprint_tracker = true;
+
+  /// Cooperative run budget: one probe is charged per scored candidate.
+  /// When the budget expires the search stops before applying the next
+  /// move, so the returned assignment is always the consistent state after
+  /// the last accepted move (status BudgetExhausted).  `shared_budget`
+  /// takes precedence over `budget` (the pipeline threads one token
+  /// through search + TE so a deadline never restarts per stage).
+  core::BudgetSpec budget;
+  core::RunBudget* shared_budget = nullptr;
 };
 
 /// Trace entry for one accepted move, for diagnostics and the tool-runtime
@@ -43,6 +54,10 @@ struct GreedyResult {
   std::vector<GreedyMove> moves;
   double final_scalar = 0.0;
   int evaluations = 0;  ///< cost-model invocations (search effort metric)
+
+  /// Feasible on completion, BudgetExhausted when the run budget bound
+  /// first.  Either way `assignment` replays exactly from `moves`.
+  SearchStatus status = SearchStatus::Feasible;
 };
 
 /// Greedy steering heuristic: start from the out-of-box assignment and

@@ -42,6 +42,25 @@ SearchOptions& SearchOptions::set_target(Target target) {
   return *this;
 }
 
+std::string to_string(SearchStatus status) {
+  switch (status) {
+    case SearchStatus::Optimal: return "optimal";
+    case SearchStatus::Feasible: return "feasible";
+    case SearchStatus::BudgetExhausted: return "budget_exhausted";
+    case SearchStatus::Infeasible: return "infeasible";
+  }
+  return "feasible";
+}
+
+SearchStatus parse_search_status(const std::string& name) {
+  if (name == "optimal") return SearchStatus::Optimal;
+  if (name == "feasible") return SearchStatus::Feasible;
+  if (name == "budget_exhausted") return SearchStatus::BudgetExhausted;
+  if (name == "infeasible") return SearchStatus::Infeasible;
+  throw std::invalid_argument("unknown search status '" + name +
+                              "' (optimal|feasible|budget_exhausted|infeasible)");
+}
+
 namespace {
 
 /// Narrowing views of SearchOptions for the concrete implementations.
@@ -53,6 +72,8 @@ GreedyOptions to_greedy_options(const SearchOptions& options) {
   greedy.allow_array_migration = options.allow_array_migration;
   greedy.use_cost_engine = options.use_cost_engine;
   greedy.use_footprint_tracker = options.use_footprint_tracker;
+  greedy.budget = options.budget;
+  greedy.shared_budget = options.shared_budget;
   return greedy;
 }
 
@@ -68,6 +89,8 @@ ExhaustiveOptions to_exhaustive_options(const SearchOptions& options) {
   exhaustive.num_threads = options.bnb_threads;
   exhaustive.tasks_per_thread = options.bnb_tasks_per_thread;
   exhaustive.seed_incumbent = options.bnb_seed_incumbent;
+  exhaustive.budget = options.budget;
+  exhaustive.shared_budget = options.shared_budget;
   return exhaustive;
 }
 
@@ -81,6 +104,8 @@ AnnealOptions to_anneal_options(const SearchOptions& options) {
   anneal.cooling = options.anneal_cooling;
   anneal.allow_array_migration = options.allow_array_migration;
   anneal.use_footprint_tracker = options.use_footprint_tracker;
+  anneal.budget = options.budget;
+  anneal.shared_budget = options.shared_budget;
   return anneal;
 }
 
@@ -90,6 +115,8 @@ SearchResult from_greedy(GreedyResult greedy) {
   result.scalar = greedy.final_scalar;
   result.moves = std::move(greedy.moves);
   result.evaluations = greedy.evaluations;
+  result.status = greedy.status;
+  result.exhausted_budget = greedy.status == SearchStatus::BudgetExhausted;
   return result;
 }
 
@@ -101,6 +128,9 @@ SearchResult from_exhaustive(ExhaustiveResult exhaustive) {
   result.exhausted_budget = exhaustive.exhausted_budget;
   result.bound_prunes = exhaustive.bound_prunes;
   result.capacity_prunes = exhaustive.capacity_prunes;
+  result.status = exhaustive.status;
+  result.gap = exhaustive.gap;
+  result.lower_bound = exhaustive.lower_bound;
   return result;
 }
 
@@ -180,6 +210,8 @@ class AnnealSearcher final : public Searcher {
     result.assignment = std::move(anneal.assignment);
     result.scalar = anneal.scalar;
     result.evaluations = anneal.evaluations;
+    result.status = anneal.status;
+    result.exhausted_budget = anneal.status == SearchStatus::BudgetExhausted;
     return result;
   }
 };

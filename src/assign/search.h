@@ -8,6 +8,8 @@
 #include "assign/anneal.h"
 #include "assign/exhaustive.h"
 #include "assign/greedy.h"
+#include "assign/search_status.h"
+#include "core/run_budget.h"
 
 namespace mhla::assign {
 
@@ -72,6 +74,23 @@ struct SearchOptions {
   int bnb_tasks_per_thread = 4;    ///< target root-frontier tasks per worker
   bool bnb_seed_incumbent = true;  ///< seed the shared bound with the greedy scalar
 
+  /// Cooperative run budget for any strategy (see core::BudgetSpec).  The
+  /// deadline/probe knobs round-trip through the JSON config ("search"
+  /// object keys "deadline_seconds" / "max_probes"); the cancel flag is a
+  /// live process object and never serialized.  When the budget binds, the
+  /// strategy returns best-so-far with status BudgetExhausted instead of
+  /// running on (exact strategies also certify an optimality gap), and a
+  /// bounded budget lifts the placement guard for engine-backed exact
+  /// search (anytime mode).
+  core::BudgetSpec budget;
+
+  /// Live budget token shared across stages (search + time extension +
+  /// batch / exploration siblings).  When set it takes precedence over
+  /// `budget`, so a driver can start one deadline clock for a whole run
+  /// instead of restarting it per stage.  Not serialized; compared by
+  /// identity in operator==.
+  core::RunBudget* shared_budget = nullptr;
+
   /// Replace the weights with the canonical mapping for `target`;
   /// Target::Custom leaves the explicit weights untouched.
   SearchOptions& set_target(Target target);
@@ -89,9 +108,18 @@ struct SearchResult {
   int evaluations = 0;            ///< cost-model invocations (greedy strategies)
 
   long states_explored = 0;       ///< evaluated states (exhaustive strategies)
-  bool exhausted_budget = false;  ///< true if `max_states` was hit
+  bool exhausted_budget = false;  ///< status == BudgetExhausted (legacy mirror)
   long bound_prunes = 0;          ///< subtrees cut by the lower bound
   long capacity_prunes = 0;       ///< placements cut by cumulative capacity
+
+  /// Outcome contract (see assign/search_status.h).  Exact strategies that
+  /// ran to completion report Optimal with gap 0; a budget-truncated exact
+  /// search reports BudgetExhausted with a certified gap against
+  /// `lower_bound` (gap = -1 when no admissible bound was available);
+  /// heuristics report Feasible / BudgetExhausted with gap -1.
+  SearchStatus status = SearchStatus::Feasible;
+  double gap = -1.0;
+  double lower_bound = 0.0;  ///< global admissible root bound (engine B&B only)
 };
 
 /// A search strategy selectable by name.  Implementations must be

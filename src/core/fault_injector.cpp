@@ -1,0 +1,62 @@
+#include "core/fault_injector.h"
+
+#include <atomic>
+
+namespace mhla::core {
+namespace {
+
+struct SiteState {
+  std::atomic<long> nth{0};  ///< 0 = disarmed
+  std::atomic<long> hits{0};
+};
+
+SiteState g_sites[FaultInjector::kNumSites];
+
+/// Number of currently armed sites; the fast path in fire() is one relaxed
+/// load of this counter, so disarmed hooks stay free.
+std::atomic<int> g_armed{0};
+
+SiteState& state(FaultInjector::Site site) {
+  return g_sites[static_cast<int>(site)];
+}
+
+}  // namespace
+
+void FaultInjector::arm(Site site, long nth) {
+  if (nth <= 0) {
+    disarm(site);
+    return;
+  }
+  SiteState& s = state(site);
+  s.hits.store(0, std::memory_order_relaxed);
+  if (s.nth.exchange(nth, std::memory_order_relaxed) == 0) {
+    g_armed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::disarm(Site site) {
+  if (state(site).nth.exchange(0, std::memory_order_relaxed) != 0) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::reset() {
+  for (int i = 0; i < kNumSites; ++i) {
+    disarm(static_cast<Site>(i));
+    g_sites[i].hits.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool FaultInjector::fire(Site site) {
+  if (g_armed.load(std::memory_order_relaxed) == 0) return false;
+  SiteState& s = state(site);
+  long nth = s.nth.load(std::memory_order_relaxed);
+  if (nth == 0) return false;
+  return s.hits.fetch_add(1, std::memory_order_relaxed) + 1 == nth;
+}
+
+long FaultInjector::hits(Site site) {
+  return state(site).hits.load(std::memory_order_relaxed);
+}
+
+}  // namespace mhla::core

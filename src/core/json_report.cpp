@@ -196,6 +196,8 @@ std::string to_json(const std::string& app_name, const PipelineResult& result, i
       << ", \"moves\": " << result.search.moves.size()
       << ", \"evaluations\": " << result.search.evaluations
       << ", \"states_explored\": " << result.search.states_explored
+      << ", \"status\": \"" << assign::to_string(result.search.status) << "\""
+      << ", \"gap\": " << num(result.search.gap)
       << ", \"exhausted_budget\": " << bool_text(result.search.exhausted_budget) << "},\n";
   out << p1 << "\"timings\": [\n";
   for (std::size_t i = 0; i < result.timings.size(); ++i) {
@@ -293,7 +295,10 @@ std::string to_json(const PipelineConfig& config, int indent) {
       << ", \"anneal_cooling\": " << num_exact(search.anneal_cooling)
       << ",\n" << p1 << "             \"bnb_threads\": " << search.bnb_threads
       << ", \"bnb_tasks_per_thread\": " << search.bnb_tasks_per_thread
-      << ", \"bnb_seed_incumbent\": " << bool_text(search.bnb_seed_incumbent) << "},\n";
+      << ", \"bnb_seed_incumbent\": " << bool_text(search.bnb_seed_incumbent)
+      << ",\n" << p1 << "             \"deadline_seconds\": "
+      << num_exact(search.budget.deadline_seconds)
+      << ", \"max_probes\": " << search.budget.max_probes << "},\n";
   out << p1 << "\"te\": {\"order\": \"" << order_name(config.te.order)
       << "\", \"max_lookahead\": " << config.te.max_lookahead
       << ", \"charge_cold_start\": " << bool_text(config.te.charge_cold_start)
@@ -368,7 +373,9 @@ PipelineConfig pipeline_config_from_json(const std::string& text) {
                    .field("anneal_cooling", search.anneal_cooling, as_double)
                    .field("bnb_threads", search.bnb_threads, as_unsigned)
                    .field("bnb_tasks_per_thread", search.bnb_tasks_per_thread, as_int)
-                   .field("bnb_seed_incumbent", search.bnb_seed_incumbent, as_bool);
+                   .field("bnb_seed_incumbent", search.bnb_seed_incumbent, as_bool)
+                   .field("deadline_seconds", search.budget.deadline_seconds, as_double)
+                   .field("max_probes", search.budget.max_probes, as_long);
                return search;
              })
       .field("te", config.te,

@@ -4,10 +4,42 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "core/fault_injector.h"
+#include "core/run_budget.h"
+
 namespace mhla::core {
+namespace {
+
+/// Joins every joinable thread in the vector on scope exit.  Guards both
+/// the normal path and a throwing `threads.emplace_back` mid-spawn, where
+/// destructing an unjoined std::thread would call std::terminate.
+class ThreadJoiner {
+ public:
+  explicit ThreadJoiner(std::vector<std::thread>& threads) : threads_(threads) {}
+  ~ThreadJoiner() {
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+  ThreadJoiner(const ThreadJoiner&) = delete;
+  ThreadJoiner& operator=(const ThreadJoiner&) = delete;
+
+ private:
+  std::vector<std::thread>& threads_;
+};
+
+void invoke_body(const std::function<void(std::size_t)>& body, std::size_t i) {
+  if (FaultInjector::fire(FaultInjector::Site::ParallelBody)) {
+    throw FaultInjectedError("parallel_for: injected fault in body " + std::to_string(i));
+  }
+  body(i);
+}
+
+}  // namespace
 
 unsigned default_parallelism() {
   unsigned hw = std::thread::hardware_concurrency();
@@ -15,14 +47,17 @@ unsigned default_parallelism() {
 }
 
 void parallel_for(std::size_t count, unsigned num_threads,
-                  const std::function<void(std::size_t)>& body) {
+                  const std::function<void(std::size_t)>& body, RunBudget* budget) {
   if (count == 0) return;
   if (num_threads == 0) num_threads = default_parallelism();
   num_threads = static_cast<unsigned>(
       std::min<std::size_t>(num_threads, count));
 
   if (num_threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (budget && budget->expired()) return;
+      invoke_body(body, i);
+    }
     return;
   }
 
@@ -33,10 +68,14 @@ void parallel_for(std::size_t count, unsigned num_threads,
 
   auto worker = [&]() {
     for (;;) {
+      // Check for a peer's failure (and budget expiry) before claiming, so
+      // an index is never consumed by a worker that won't run it.
+      if (failed.load(std::memory_order_relaxed)) return;
+      if (budget && budget->expired()) return;
       std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count || failed.load(std::memory_order_relaxed)) return;
+      if (i >= count) return;
       try {
-        body(i);
+        invoke_body(body, i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!error) error = std::current_exception();
@@ -48,8 +87,10 @@ void parallel_for(std::size_t count, unsigned num_threads,
 
   std::vector<std::thread> threads;
   threads.reserve(num_threads);
-  for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker);
-  for (std::thread& t : threads) t.join();
+  {
+    ThreadJoiner joiner(threads);
+    for (unsigned t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  }
   if (error) std::rethrow_exception(error);
 }
 

@@ -6,6 +6,8 @@
 
 namespace mhla::core {
 
+class RunBudget;
+
 /// Number of worker threads `parallel_for` uses when the caller passes 0:
 /// the hardware concurrency, with a floor of 1.
 unsigned default_parallelism();
@@ -20,8 +22,21 @@ unsigned default_parallelism();
 ///    thread count.
 ///  * The first exception thrown by any body is rethrown on the calling
 ///    thread after all workers have joined; remaining indices may be skipped.
+///    Workers re-check the failure flag before claiming another index, so a
+///    peer's exception stops the pool after at most one in-flight body per
+///    worker.  Spawned threads are joined on every path (including a failed
+///    spawn), never leaked to std::terminate.
+///  * With a `budget`, workers stop claiming new indices once the budget has
+///    expired; already-claimed bodies run to completion.  The caller decides
+///    what a partially covered index space means (e.g. mark the run budget-
+///    exhausted).  The budget is observed, never charged — bodies that want
+///    to spend probes do so themselves.
+///  * The fault injector's `ParallelBody` site wraps every body invocation:
+///    an armed injector makes the Nth body throw `FaultInjectedError`, which
+///    then follows the normal exception path above.
 void parallel_for(std::size_t count, unsigned num_threads,
-                  const std::function<void(std::size_t)>& body);
+                  const std::function<void(std::size_t)>& body,
+                  RunBudget* budget = nullptr);
 
 /// Lock-free running minimum over doubles, shared by `parallel_for` workers.
 ///

@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <mutex>
+#include <optional>
 
 #include "core/parallel_for.h"
+#include "core/run_budget.h"
 
 namespace mhla::core {
 
@@ -43,6 +45,15 @@ PipelineResult Pipeline::run(const Workspace& workspace) const {
   assign::SearchOptions options = config_.search;
   options.set_target(config_.target);
 
+  // One budget token covers the whole run: the search and the TE pass
+  // share it, so a deadline never restarts per stage.  A batch/exploration
+  // driver that already holds a token passes it through unchanged.
+  std::optional<RunBudget> local_budget;
+  if (!options.shared_budget && options.budget.bounded()) {
+    local_budget.emplace(options.budget);
+    options.shared_budget = &*local_budget;
+  }
+
   auto t0 = Clock::now();
   result.search = assign::searcher(config_.strategy).search(ctx, options);
   double assign_s = seconds_since(t0);
@@ -54,8 +65,10 @@ PipelineResult Pipeline::run(const Workspace& workspace) const {
   // view honest while the values stay bit-identical to simulate_four_points
   // (each point is an independent simulation).
   t0 = Clock::now();
+  te::TeOptions te_options = config_.te;
+  te_options.budget = options.shared_budget;
   result.points.mhla_te = sim::simulate(ctx, result.search.assignment,
-                                        {te::TransferMode::TimeExtended, config_.te, false});
+                                        {te::TransferMode::TimeExtended, te_options, false});
   double te_s = seconds_since(t0);
   result.timings.push_back({"time_extend", te_s});
   if (progress_) progress_("time_extend", te_s);
@@ -80,6 +93,15 @@ std::vector<PipelineResult> Pipeline::run_batch(std::vector<ir::Program> program
   // threads would interleave); completion is reported per program instead.
   Pipeline worker(config_);
   std::mutex progress_mutex;
+
+  // A bounded budget spec is promoted to one batch-wide token: every
+  // program still runs (degraded, not skipped — results stay positionally
+  // aligned), but all of them race the same deadline/probe allowance.
+  std::optional<RunBudget> batch_budget;
+  if (!config_.search.shared_budget && config_.search.budget.bounded()) {
+    batch_budget.emplace(config_.search.budget);
+    worker.config_.search.shared_budget = &*batch_budget;
+  }
 
   std::vector<PipelineResult> results(programs.size());
   parallel_for(programs.size(), config_.num_threads, [&](std::size_t i) {

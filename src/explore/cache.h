@@ -25,6 +25,14 @@ std::uint64_t fnv1a64(const std::string& text);
 /// Single-writer by design: `load` + `save` rewrite the whole document.
 /// Concurrent explorations over one file should shard to distinct paths and
 /// merge afterwards (`merge_from`).
+///
+/// Crash safety: `save` stages the document in a temp file, flushes it to
+/// stable storage (fsync) and atomically renames it over the target, so a
+/// crash at any point leaves either the complete old document or the
+/// complete new one — never a truncated mix.  `load` in turn never throws
+/// the warm results away on a malformed document: it salvages every
+/// well-formed entry line, quarantines the damaged original next to the
+/// cache (".quarantine") and reports what happened (see LoadReport).
 class ResultCache {
  public:
   struct Entry {
@@ -38,12 +46,34 @@ class ResultCache {
     friend bool operator==(const Entry&, const Entry&) = default;
   };
 
-  /// Load from `path`; a missing file is an empty cache, a malformed one
-  /// throws std::invalid_argument naming the path.
-  static ResultCache load(const std::string& path);
+  /// What load() found on disk.  `clean` is true for a missing file or a
+  /// well-formed document; on a malformed document it is false, `salvaged`
+  /// counts the entries recovered from the wreckage, `quarantine_path`
+  /// names where the damaged original was preserved, and `message` is the
+  /// human-readable warning (also printed to stderr by the one-argument
+  /// overload).
+  struct LoadReport {
+    bool clean = true;
+    std::size_t entries = 0;
+    std::size_t salvaged = 0;
+    std::string quarantine_path;
+    std::string message;
+  };
 
-  /// Rewrite `path` with every entry (sorted by key — byte-stable output).
-  /// Throws std::runtime_error when the file cannot be written.
+  /// Load from `path`.  A missing file is an empty cache; an existing but
+  /// unreadable file throws std::runtime_error (proceeding cold would
+  /// truncate the warm entries on the next save); a malformed document is
+  /// salvaged entry by entry instead of throwing — the damaged original is
+  /// quarantined and a warning goes to stderr (one-argument overload) or
+  /// into `report`.
+  static ResultCache load(const std::string& path);
+  static ResultCache load(const std::string& path, LoadReport& report);
+
+  /// Rewrite `path` with every entry (sorted by key — byte-stable output)
+  /// via temp file + fsync + atomic rename: a previously persisted document
+  /// survives any mid-save crash or failure intact.  Throws
+  /// std::runtime_error when the file cannot be written (the temp file is
+  /// cleaned up and the target left untouched).
   void save(const std::string& path) const;
 
   /// JSON round-trip used by load/save; exposed for tests and tooling.

@@ -1,6 +1,7 @@
 #include "explore/explorer.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -8,6 +9,7 @@
 
 #include "core/json_report.h"
 #include "core/parallel_for.h"
+#include "core/run_budget.h"
 #include "ir/serialize.h"
 
 namespace mhla::xplore {
@@ -85,6 +87,19 @@ ExploreResult Explorer::run(const ir::Program& program, ResultCache& cache) cons
   assign::SearchOptions search = config_.pipeline.search;
   search.set_target(config_.pipeline.target);
 
+  // One budget token for the whole exploration: every cell search draws on
+  // it, and the wave loop stops scheduling new waves once it has expired.
+  // Expiry inside a wave degrades that wave's cells individually (their
+  // searches return BudgetExhausted, which also makes them uncacheable), so
+  // the deadline only changes *how much* is explored — a completed wave's
+  // samples are the same as without a budget.
+  std::optional<core::RunBudget> local_budget;
+  if (!search.shared_budget && search.budget.bounded()) {
+    local_budget.emplace(search.budget);
+    search.shared_budget = &*local_budget;
+  }
+  core::RunBudget* run_budget = search.shared_budget;
+
   // Program-level analyses are hierarchy independent; run them once and
   // share them read-only across the worker pool (same as the fixed sweep).
   std::vector<analysis::AccessSite> sites = analysis::collect_sites(program);
@@ -119,6 +134,11 @@ ExploreResult Explorer::run(const ir::Program& program, ResultCache& cache) cons
     effective.search.bnb_threads = 0;
     effective.search.bnb_tasks_per_thread = assign::SearchOptions{}.bnb_tasks_per_thread;
     effective.search.bnb_seed_incumbent = assign::SearchOptions{}.bnb_seed_incumbent;
+    // The run budget is normalized away for the same reason: it cannot
+    // change a completed result, and budget-truncated results are never
+    // persisted, so cached entries are shareable across deadline settings.
+    effective.search.budget = core::BudgetSpec{};
+    effective.search.shared_budget = nullptr;
     return fnv1a64(program_text + '\x1f' + core::to_json(effective) + '\x1f' +
                    (cell.with_te ? "te" : "blocking"));
   };
@@ -174,6 +194,13 @@ ExploreResult Explorer::run(const ir::Program& program, ResultCache& cache) cons
   std::sort(wave.begin(), wave.end());
 
   while (!wave.empty()) {
+    // A run budget (deadline/probes/cancel) is checked at wave boundaries
+    // only: an expired budget stops the exploration with everything
+    // sampled so far instead of starting another wave.
+    if (run_budget && run_budget->expired()) {
+      result.budget_exhausted = true;
+      break;
+    }
     // The budget truncates the wave itself (canonical order), cache hits
     // included, so the sample sequence is a pure function of the config —
     // a warm cache replays it with fewer (or zero) pipeline runs.

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "assign/footprint_tracker.h"
+#include "core/run_budget.h"
 
 namespace mhla::te {
 
@@ -64,7 +65,18 @@ TeResult time_extend(const assign::AssignContext& ctx, const assign::Assignment&
   std::optional<assign::FootprintTracker> tracker;
   if (options.use_footprint_tracker) tracker.emplace(ctx, assignment);
 
+  // Budget probes land at BT and freedom-unit boundaries only, so an
+  // expired budget never leaves a half-probed extension: the tracker holds
+  // exactly the accepted extensions and the priority pass below still runs
+  // over a consistent (partial) extension vector.
+  bool out_of_budget = false;
+  auto probe = [&]() {
+    if (!out_of_budget && options.budget && !options.budget->probe()) out_of_budget = true;
+    return !out_of_budget;
+  };
+
   for (std::size_t index : order_indices(bts, options.order)) {
+    if (!probe()) break;
     const BlockTransfer& bt = bts[index];
     if (!bt.has_fill) continue;  // nothing to prefetch, only a flush stream
     BtExtension& ext = result.extensions[index];
@@ -103,6 +115,7 @@ TeResult time_extend(const assign::AssignContext& ctx, const assign::Assignment&
     double ext_cycles = 0.0;
     for (const FreedomUnit& unit : units) {
       if (ext_cycles >= bt.cycles) break;  // fully time extended
+      if (!probe()) break;
 
       assign::CopyExtension grow;
       grow.cc_id = bt.cc_id;
@@ -147,6 +160,8 @@ TeResult time_extend(const assign::AssignContext& ctx, const assign::Assignment&
     result.total_hidden_cycles +=
         ext.hidden_cycles * static_cast<double>(bt.issues) - ext.cold_start_stall_cycles;
   }
+
+  result.budget_exhausted = out_of_budget;
 
   // dma_priority(): issue order = earliest start first, then the greedy
   // sort factor as tie break (urgent transfers drain first).

@@ -4,6 +4,10 @@
 #include "assign/inplace.h"
 #include "te/block_transfer.h"
 
+namespace mhla::core {
+class RunBudget;
+}
+
 namespace mhla::te {
 
 /// Order in which BTs are considered for extension.  The paper's Figure 1
@@ -28,6 +32,15 @@ struct TeOptions {
   /// bit-identical; off is the reference path for the equivalence tests.
   bool use_footprint_tracker = true;
 
+  /// Cooperative run budget (one probe per BT plus one per freedom unit,
+  /// charged before the unit is tried).  An expired budget stops extending
+  /// at a unit boundary: extensions accepted so far keep their exact
+  /// footprint state, unprocessed BTs stay unextended, and the result is
+  /// marked budget_exhausted.  The pipeline shares its search budget here
+  /// so one deadline covers search + TE.  Not serialized; compared by
+  /// identity in operator==.
+  core::RunBudget* budget = nullptr;
+
   friend bool operator==(const TeOptions&, const TeOptions&) = default;
 };
 
@@ -47,6 +60,7 @@ struct TeResult {
   std::vector<BtExtension> extensions;      ///< one per BT, indexed by bt id
   std::vector<assign::CopyExtension> footprint_extensions;  ///< for inplace checks
   double total_hidden_cycles = 0.0;         ///< sum over all issues
+  bool budget_exhausted = false;  ///< run budget expired before every BT was processed
 
   const BtExtension& for_bt(int bt_id) const {
     return extensions.at(static_cast<std::size_t>(bt_id));

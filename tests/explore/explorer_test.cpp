@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "apps/registry.h"
@@ -65,15 +66,57 @@ TEST(ResultCache, MissingFileIsACleanColdCache) {
   EXPECT_EQ(ResultCache::load(temp_path("mhla_cache_never_written.json")).size(), 0u);
 }
 
-TEST(ResultCache, MalformedFileThrowsNamingThePath) {
+TEST(ResultCache, MalformedFileSalvagesIntactEntriesAndQuarantines) {
+  // A document truncated mid-write: the header and the last entry line are
+  // damaged, one entry line is complete.  Load must recover the intact
+  // entry instead of throwing the warm cache away, and must preserve the
+  // wreckage for inspection.
   std::string path = temp_path("mhla_cache_corrupt.json");
-  std::ofstream(path) << "{\"version\": 1, \"entries\": [oops";
-  try {
-    ResultCache::load(path);
-    FAIL() << "expected std::invalid_argument";
-  } catch (const std::invalid_argument& e) {
-    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  ResultCache full;
+  full.insert(7, {256, 0, "greedy", true, 10.0, 20.0});
+  std::string intact_line;
+  {
+    std::istringstream doc(full.to_json());
+    std::string line;
+    while (std::getline(doc, line)) {
+      if (line.find("\"key\"") != std::string::npos) intact_line = line;
+    }
   }
+  ASSERT_FALSE(intact_line.empty());
+  std::ofstream(path) << "{\"version\": 1, \"entries\": [oops\n"
+                      << intact_line << "\n"
+                      << "    {\"key\": \"00000000000000";  // truncated entry
+
+  ResultCache::LoadReport report;
+  ResultCache salvaged = ResultCache::load(path, report);
+  EXPECT_FALSE(report.clean);
+  EXPECT_EQ(report.salvaged, 1u);
+  EXPECT_NE(report.message.find(path), std::string::npos) << report.message;
+  EXPECT_EQ(salvaged.entries(), full.entries());
+
+  // The damaged original is quarantined byte for byte next to the cache.
+  ASSERT_EQ(report.quarantine_path, path + ".quarantine");
+  std::ifstream quarantined(report.quarantine_path);
+  ASSERT_TRUE(quarantined.good());
+  std::ostringstream preserved;
+  preserved << quarantined.rdbuf();
+  EXPECT_NE(preserved.str().find(intact_line), std::string::npos);
+
+  std::remove(path.c_str());
+  std::remove(report.quarantine_path.c_str());
+}
+
+TEST(ResultCache, WellFormedLoadReportsClean) {
+  std::string path = temp_path("mhla_cache_clean.json");
+  ResultCache cache;
+  cache.insert(3, {128, 0, "bnb", false, 1.0, 2.0});
+  cache.save(path);
+  ResultCache::LoadReport report;
+  ResultCache loaded = ResultCache::load(path, report);
+  EXPECT_TRUE(report.clean);
+  EXPECT_EQ(report.entries, 1u);
+  EXPECT_EQ(report.salvaged, 0u);
+  EXPECT_EQ(loaded.entries(), cache.entries());
   std::remove(path.c_str());
 }
 
