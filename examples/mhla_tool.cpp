@@ -6,6 +6,8 @@
 //   mhla_tool --app motion_estimation [options]
 //   mhla_tool --file program.mhla [options]
 //   mhla_tool --dump-app qsdpcm            # print the .mhla description
+//   mhla_tool --cache-merge <out.json> <shard.json>...
+//                                          # merge result-cache shards
 //
 // Options:
 //   --config <file>   load a PipelineConfig JSON document (other flags
@@ -26,6 +28,13 @@
 //   --corpus          explore every registry application in one invocation
 //   --budget <n>      --explore/--corpus: cap on sampled cells (0 = off)
 //   --cache <file>    --explore/--corpus: persistent result cache (JSON)
+//   --cache-merge <out> <shard>...
+//                     merge result-cache shard documents into <out> (loaded
+//                     first when it exists) and rewrite it via the
+//                     crash-safe saver — how N sharded explorations (or N
+//                     mhla_serve instances) converge on one warm cache.
+//                     Damaged shards are salvaged entry by entry with a
+//                     warning; a missing shard path is a validation error.
 //   --deadline <s>    wall-clock run budget in seconds (0 = unbounded); an
 //                     expired budget degrades the run (best-so-far result,
 //                     status budget_exhausted) instead of failing it
@@ -46,6 +55,10 @@
 //   4  run budget exhausted (single pipeline run returned a degraded,
 //      best-so-far result — output is still complete and well-formed)
 //   5  I/O failure (unreadable/unwritable file, cache persistence)
+//
+// --cache-merge uses the same table: 0 on success (salvaged shards
+// included), 3 for a missing shard path, 5 when the merged document cannot
+// be written.
 //
 // Errors always produce one structured line on stderr ("error: ...");
 // under --json a machine-readable {"error": {...}} object goes to stdout.
@@ -85,6 +98,7 @@ struct Options {
   bool footprints = false;
   bool verbose = false;
   bool json = false;
+  std::vector<std::string> cache_merge;  ///< [0] = out, [1..] = shards
 };
 
 int usage(const char* argv0) {
@@ -95,7 +109,8 @@ int usage(const char* argv0) {
                "       [--bnb-threads <n>] [--no-dma] [--sweep] [--explore] [--corpus]\n"
                "       [--budget <n>] [--cache <file.json>] [--deadline <seconds>]\n"
                "       [--max-probes <n>] [--dump-config] [--footprints]\n"
-               "       [--verbose] [--json]\n\n"
+               "       [--verbose] [--json]\n"
+               "       " << argv0 << " --cache-merge <out.json> <shard.json>...\n\n"
                "exit codes: 0 ok, 1 internal, 2 usage, 3 validation,\n"
                "            4 run budget exhausted (degraded result), 5 I/O\n\n"
                "strategies:\n";
@@ -174,6 +189,12 @@ bool parse_args(int argc, char** argv, Options& options) {
       if (options.budget < 0) throw std::invalid_argument("--budget must be >= 0");
     } else if (arg == "--cache") {
       options.cache = next();
+    } else if (arg == "--cache-merge") {
+      options.cache_merge.push_back(next());  // the output document
+      while (i + 1 < argc && argv[i + 1][0] != '-') options.cache_merge.push_back(argv[++i]);
+      if (options.cache_merge.size() < 2) {
+        throw std::invalid_argument("--cache-merge needs an output and at least one shard");
+      }
     } else if (arg == "--deadline") {
       options.pipeline.search.budget.deadline_seconds = std::stod(next());
       if (options.pipeline.search.budget.deadline_seconds < 0) {
@@ -203,7 +224,35 @@ bool parse_args(int argc, char** argv, Options& options) {
     throw std::invalid_argument("--corpus explores every registry app; drop --app/--file");
   }
   return options.dump_config || options.corpus || !options.app.empty() ||
-         !options.file.empty() || !options.dump_app.empty();
+         !options.file.empty() || !options.dump_app.empty() || !options.cache_merge.empty();
+}
+
+int run_cache_merge(const Options& options) {
+  const std::string& out_path = options.cache_merge.front();
+  // An existing output participates in the merge, so repeated invocations
+  // accumulate instead of overwriting earlier shards.
+  xplore::ResultCache merged;
+  if (std::filesystem::exists(out_path)) {
+    xplore::ResultCache::LoadReport report;
+    merged = xplore::ResultCache::load(out_path, report);
+    if (!report.clean) std::cerr << "warning: " << report.message << "\n";
+  }
+  std::size_t adopted = 0;
+  for (std::size_t i = 1; i < options.cache_merge.size(); ++i) {
+    const std::string& shard_path = options.cache_merge[i];
+    if (!std::filesystem::exists(shard_path)) {
+      throw std::invalid_argument("cache shard '" + shard_path + "' does not exist");
+    }
+    xplore::ResultCache::LoadReport report;
+    xplore::ResultCache shard = xplore::ResultCache::load(shard_path, report);
+    if (!report.clean) std::cerr << "warning: " << report.message << "\n";
+    adopted += shard.size();
+    merged.merge_from(shard);
+  }
+  merged.save(out_path);  // crash-safe: temp + fsync + atomic rename
+  std::cout << "merged " << (options.cache_merge.size() - 1) << " shards (" << adopted
+            << " entries) into " << out_path << " (" << merged.size() << " total entries)\n";
+  return 0;
 }
 
 ir::Program load_program(const Options& options) {
@@ -297,6 +346,8 @@ int main(int argc, char** argv) {
   Options options;
   try {
     if (!parse_args(argc, argv, options)) return usage(argv[0]);
+
+    if (!options.cache_merge.empty()) return run_cache_merge(options);
 
     if (options.dump_config) {
       std::cout << core::to_json(options.pipeline) << "\n";

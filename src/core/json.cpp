@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/json_report.h"
+
 namespace mhla::core {
 
 namespace {
@@ -74,6 +76,55 @@ const Json& Json::at(const std::string& key) const {
   const Json* member = find(key);
   if (!member) throw std::invalid_argument("JSON: missing key \"" + key + "\"");
   return *member;
+}
+
+std::string Json::dump() const {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  switch (kind_) {
+    case Kind::Null:
+      out << "null";
+      break;
+    case Kind::Bool:
+      out << (bool_ ? "true" : "false");
+      break;
+    case Kind::Number:
+      // Integral values print without a fraction (they parse back exactly);
+      // everything else goes through max_digits10 for a bit-exact round trip.
+      if (std::nearbyint(number_) == number_ && number_ >= -9007199254740992.0 &&
+          number_ <= 9007199254740992.0) {
+        out << static_cast<std::int64_t>(number_);
+      } else {
+        out << json_number_exact(number_);
+      }
+      break;
+    case Kind::String:
+      out << '"' << json_escape(string_) << '"';
+      break;
+    case Kind::Array: {
+      out << '[';
+      bool first = true;
+      for (const Json& item : array_) {
+        if (!first) out << ", ";
+        first = false;
+        out << item.dump();
+      }
+      out << ']';
+      break;
+    }
+    case Kind::Object: {
+      out << '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out << ", ";
+        first = false;
+        out << '"' << json_escape(key) << "\": " << value.dump();
+      }
+      out << '}';
+      break;
+    }
+  }
+  return out.str();
 }
 
 /// Recursive-descent parser over the raw text.  Tracks the byte offset and

@@ -45,6 +45,13 @@ class Json {
   const Json* find(const std::string& key) const;
   const Json& at(const std::string& key) const;
 
+  /// Re-serialize this value as one compact JSON document.  Numbers are
+  /// emitted with max_digits10 (integral values without a fraction), so
+  /// `parse(dump())` reproduces every double bit for bit — which is what
+  /// lets the server pass an embedded config object on to
+  /// `pipeline_config_from_json` without loss.
+  std::string dump() const;
+
  private:
   friend class JsonParser;
   Kind kind_ = Kind::Null;

@@ -41,7 +41,10 @@ std::uint64_t parse_hex_key(const std::string& text) {
 
 /// One cache entry from its JSON object — shared by the well-formed document
 /// path (from_json) and the line-by-line salvage scanner, so both accept
-/// exactly the same entries.  Throws on any missing/mistyped field.
+/// exactly the same entries.  Throws on any missing/mistyped field.  The
+/// "status" field is optional for backward compatibility: documents written
+/// before it existed only ever contained completed results, so they load as
+/// Feasible.
 std::pair<std::uint64_t, ResultCache::Entry> entry_from_json(const core::Json& item) {
   ResultCache::Entry entry;
   entry.l1_bytes = item.at("l1_bytes").integer();
@@ -50,6 +53,9 @@ std::pair<std::uint64_t, ResultCache::Entry> entry_from_json(const core::Json& i
   entry.with_te = item.at("with_te").boolean();
   entry.cycles = item.at("cycles").number();
   entry.energy_nj = item.at("energy_nj").number();
+  if (const core::Json* status = item.find("status")) {
+    entry.status = assign::parse_search_status(status->string());
+  }
   return {parse_hex_key(item.at("key").string()), std::move(entry)};
 }
 
@@ -143,7 +149,7 @@ ResultCache ResultCache::load(const std::string& path, LoadReport& report) {
     try {
       core::Json item = core::Json::parse(line.substr(open, close - open + 1));
       auto [key, entry] = entry_from_json(item);
-      cache.entries_[key] = std::move(entry);
+      cache.insert(key, std::move(entry));
     } catch (const std::exception&) {
       continue;  // damaged entry — skip it, keep scanning
     }
@@ -234,7 +240,7 @@ ResultCache ResultCache::from_json(const std::string& text) {
   ResultCache cache;
   for (const core::Json& item : document.at("entries").array()) {
     auto [key, entry] = entry_from_json(item);
-    cache.entries_[key] = std::move(entry);
+    cache.insert(key, std::move(entry));
   }
   return cache;
 }
@@ -254,7 +260,8 @@ std::string ResultCache::to_json(int indent) const {
         << ", \"l2_bytes\": " << entry.l2_bytes << ", \"strategy\": \""
         << core::json_escape(entry.strategy) << "\", \"with_te\": "
         << (entry.with_te ? "true" : "false")
-        << ", \"cycles\": " << core::json_number_exact(entry.cycles)
+        << ", \"status\": \"" << assign::to_string(entry.status)
+        << "\", \"cycles\": " << core::json_number_exact(entry.cycles)
         << ", \"energy_nj\": " << core::json_number_exact(entry.energy_nj) << "}";
   }
   out << (first ? "" : "\n" + p1) << "]\n" << p0 << "}";
@@ -266,12 +273,25 @@ const ResultCache::Entry* ResultCache::find(std::uint64_t key) const {
   return it == entries_.end() ? nullptr : &it->second;
 }
 
-void ResultCache::insert(std::uint64_t key, Entry entry) {
+bool ResultCache::lookup(std::uint64_t key, CacheEntry& out) {
+  const Entry* entry = find(key);
+  if (!entry) return false;
+  out = *entry;
+  return true;
+}
+
+bool ResultCache::insert(std::uint64_t key, CacheEntry entry) {
+  // The cacheability guard lives here, in the cache layer itself: a
+  // truncated (BudgetExhausted) or infeasible result must never be stored,
+  // no matter which caller produced it — its value depends on knobs the
+  // cache key normalizes away.
+  if (!cacheable_status(entry.status)) return false;
   entries_[key] = std::move(entry);
+  return true;
 }
 
 void ResultCache::merge_from(const ResultCache& other) {
-  for (const auto& [key, entry] : other.entries_) entries_[key] = entry;
+  for (const auto& [key, entry] : other.entries_) insert(key, entry);
 }
 
 }  // namespace mhla::xplore

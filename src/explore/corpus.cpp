@@ -10,6 +10,16 @@
 namespace mhla::xplore {
 
 CorpusResult explore_corpus(const CorpusConfig& config) {
+  // One cache for the whole corpus: load once, thread it through every
+  // run, write back once (and only if anything was evaluated).
+  const std::string& cache_path = config.explorer.cache_path;
+  ResultCache cache = cache_path.empty() ? ResultCache{} : ResultCache::load(cache_path);
+  CorpusResult result = explore_corpus(config, cache);
+  if (!cache_path.empty() && result.evaluations > 0) cache.save(cache_path);
+  return result;
+}
+
+CorpusResult explore_corpus(const CorpusConfig& config, ResultStore& cache) {
   Explorer explorer(config.explorer);  // validates once for the whole corpus
 
   std::vector<std::pair<std::string, ir::Program>> programs;
@@ -28,11 +38,6 @@ CorpusResult explore_corpus(const CorpusConfig& config) {
     programs.emplace_back(std::move(name), std::move(program));
   }
 
-  // One cache for the whole corpus: load once, thread it through every
-  // run, write back once (and only if anything was evaluated).
-  const std::string& cache_path = config.explorer.cache_path;
-  ResultCache cache = cache_path.empty() ? ResultCache{} : ResultCache::load(cache_path);
-
   CorpusResult result;
   for (auto& [name, program] : programs) {
     CorpusEntry entry;
@@ -42,7 +47,6 @@ CorpusResult explore_corpus(const CorpusConfig& config) {
     result.cache_hits += entry.result.cache_hits;
     result.entries.push_back(std::move(entry));
   }
-  if (!cache_path.empty() && result.evaluations > 0) cache.save(cache_path);
   return result;
 }
 

@@ -66,6 +66,29 @@ Explorer::Explorer(ExplorerConfig config) : config_(std::move(config)) {
   }
 }
 
+std::uint64_t design_cache_key(const std::string& program_text, core::PipelineConfig effective,
+                               bool with_te) {
+  // The key covers everything that determines the cell's cost pair: the
+  // program text and the *effective* pipeline document of the cell.  The
+  // thread counts are zeroed and the bnb-par pruning knobs reset —
+  // parallelism must never change a key, and those knobs only steer
+  // pruning (the bnb-par optimum is bit-identical for any setting).
+  // That guarantee assumes the state budget does not bind; budget-bound
+  // search results are therefore never cached (the cache layer's status
+  // guard enforces it), so every cached entry really is knob-independent.
+  effective.num_threads = 0;
+  effective.search.bnb_threads = 0;
+  effective.search.bnb_tasks_per_thread = assign::SearchOptions{}.bnb_tasks_per_thread;
+  effective.search.bnb_seed_incumbent = assign::SearchOptions{}.bnb_seed_incumbent;
+  // The run budget is normalized away for the same reason: it cannot
+  // change a completed result, and budget-truncated results are never
+  // cached, so cached entries are shareable across deadline settings.
+  effective.search.budget = core::BudgetSpec{};
+  effective.search.shared_budget = nullptr;
+  return fnv1a64(program_text + '\x1f' + core::to_json(effective) + '\x1f' +
+                 (with_te ? "te" : "blocking"));
+}
+
 ExploreResult Explorer::run(const ir::Program& program) const {
   ResultCache cache =
       config_.cache_path.empty() ? ResultCache{} : ResultCache::load(config_.cache_path);
@@ -75,7 +98,7 @@ ExploreResult Explorer::run(const ir::Program& program) const {
   return result;
 }
 
-ExploreResult Explorer::run(const ir::Program& program, ResultCache& cache) const {
+ExploreResult Explorer::run(const ir::Program& program, ResultStore& cache) const {
   const std::vector<i64>& l1_axis = config_.l1_axis;
   const std::vector<i64>& l2_axis = config_.l2_axis;
   // Without a transfer engine the TE axis cannot change any result (the
@@ -118,31 +141,16 @@ ExploreResult Explorer::run(const ir::Program& program, ResultCache& cache) cons
     return cell;
   };
   auto key_of = [&](const DesignCell& cell) {
-    // The key covers everything that determines the cell's cost pair: the
-    // program text and the *effective* pipeline document of the cell.  The
-    // thread counts are zeroed and the bnb-par pruning knobs reset —
-    // parallelism must never change a key, and those knobs only steer
-    // pruning (the bnb-par optimum is bit-identical for any setting).
-    // That guarantee assumes the state budget does not bind; budget-bound
-    // search results are therefore never persisted (see the wave loop), so
-    // every cached entry really is knob-independent.
+    // design_cache_key normalizes away everything that cannot change a
+    // completed result (threads, pruning knobs, the run budget); only the
+    // cell coordinates vary here.
     core::PipelineConfig effective = config_.pipeline;
     effective.platform.l1_bytes = cell.l1_bytes;
     effective.platform.l2_bytes = cell.l2_bytes;
     effective.strategy = cell.strategy;
-    effective.num_threads = 0;
-    effective.search.bnb_threads = 0;
-    effective.search.bnb_tasks_per_thread = assign::SearchOptions{}.bnb_tasks_per_thread;
-    effective.search.bnb_seed_incumbent = assign::SearchOptions{}.bnb_seed_incumbent;
-    // The run budget is normalized away for the same reason: it cannot
-    // change a completed result, and budget-truncated results are never
-    // persisted, so cached entries are shareable across deadline settings.
-    effective.search.budget = core::BudgetSpec{};
-    effective.search.shared_budget = nullptr;
-    return fnv1a64(program_text + '\x1f' + core::to_json(effective) + '\x1f' +
-                   (cell.with_te ? "te" : "blocking"));
+    return design_cache_key(program_text, std::move(effective), cell.with_te);
   };
-  auto evaluate = [&](const DesignCell& cell, bool& cacheable) {
+  auto evaluate = [&](const DesignCell& cell, assign::SearchStatus& status) {
     mem::PlatformConfig platform = config_.pipeline.platform;
     platform.l1_bytes = cell.l1_bytes;
     platform.l2_bytes = cell.l2_bytes;
@@ -152,9 +160,10 @@ ExploreResult Explorer::run(const ir::Program& program, ResultCache& cache) cons
                               config_.pipeline.dma};
     const assign::Searcher& strategy = assign::searcher(cell.strategy);
     assign::SearchResult found = strategy.search(ctx, search);
-    // A budget-bound search result depends on the pruning knobs the cache
-    // key deliberately normalizes away; never persist one.
-    cacheable = !found.exhausted_budget;
+    // The cell's outcome rides into the cache entry; the cache layer's
+    // status guard refuses budget-truncated or infeasible results, so a
+    // degraded wave degrades only this run, never the persistent cache.
+    status = found.status;
 
     sim::SimOptions sim_options;
     sim_options.mode = cell.with_te && config_.pipeline.dma.present
@@ -222,13 +231,14 @@ ExploreResult Explorer::run(const ir::Program& program, ResultCache& cache) cons
     for (std::size_t w = 0; w < wave.size(); ++w) {
       DesignCell cell = cell_of(wave[w]);
       keys[w] = key_of(cell);
-      if (const ResultCache::Entry* entry = cache.find(keys[w])) {
+      CacheEntry cached;
+      if (cache.lookup(keys[w], cached)) {
         ExploreSample& sample = wave_samples[w];
         sample.cell = std::move(cell);
         sample.point.l1_bytes = sample.cell.l1_bytes;
         sample.point.l2_bytes = sample.cell.l2_bytes;
-        sample.point.cycles = entry->cycles;
-        sample.point.energy_nj = entry->energy_nj;
+        sample.point.cycles = cached.cycles;
+        sample.point.energy_nj = cached.energy_nj;
         sample.from_cache = true;
         ++result.cache_hits;
       } else {
@@ -237,26 +247,26 @@ ExploreResult Explorer::run(const ir::Program& program, ResultCache& cache) cons
       }
     }
 
-    std::vector<char> cacheable(wave.size(), 1);
+    std::vector<assign::SearchStatus> statuses(wave.size(), assign::SearchStatus::Feasible);
     core::parallel_for(pending.size(), config_.pipeline.num_threads, [&](std::size_t p) {
       std::size_t w = pending[p];
-      bool keep = true;
-      wave_samples[w].point = evaluate(wave_samples[w].cell, keep);
-      cacheable[w] = keep ? 1 : 0;
+      wave_samples[w].point = evaluate(wave_samples[w].cell, statuses[w]);
     });
     result.evaluations += pending.size();
 
     for (std::size_t p = 0; p < pending.size(); ++p) {
       std::size_t w = pending[p];
-      if (!cacheable[w]) continue;
       const ExploreSample& sample = wave_samples[w];
-      ResultCache::Entry entry;
+      CacheEntry entry;
       entry.l1_bytes = sample.cell.l1_bytes;
       entry.l2_bytes = sample.cell.l2_bytes;
       entry.strategy = sample.cell.strategy;
       entry.with_te = sample.cell.with_te;
       entry.cycles = sample.point.cycles;
       entry.energy_nj = sample.point.energy_nj;
+      entry.status = statuses[w];
+      // The cache layer's status guard drops budget-truncated / infeasible
+      // results; no pre-filtering here, the contract lives in one place.
       cache.insert(keys[w], std::move(entry));
     }
 
@@ -298,6 +308,10 @@ ExploreResult Explorer::run(const ir::Program& program, ResultCache& cache) cons
         }
       }
     }
+
+    // Stream the wave's running result (incremental frontier) before the
+    // termination checks, so an observer sees the final wave too.
+    if (config_.on_wave) config_.on_wave(result);
 
     if (result.budget_exhausted) break;
     if (!improved) {

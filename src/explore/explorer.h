@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,8 @@
 #include "explore/pareto.h"
 
 namespace mhla::xplore {
+
+struct ExploreResult;
 
 /// One cell of the joint design space the explorer searches: an (L1, L2)
 /// layer-size pair on a named search strategy, with time extensions on or
@@ -39,6 +42,14 @@ struct ExplorerConfig {
   /// options, thread count.  Per cell only the layer sizes, the strategy
   /// name and the transfer mode are overridden.
   core::PipelineConfig pipeline;
+
+  /// Wave observer: called after every completed wave with the running
+  /// result (samples so far, counters, current frontier and its cells) —
+  /// the streaming hook `mhla_serve` uses to push incremental frontier
+  /// events as they land.  Invoked on the calling thread between waves,
+  /// never concurrently; the referenced result is only valid during the
+  /// call.  Null = no reporting.
+  std::function<void(const ExploreResult&)> on_wave;
 
   /// Layer-size axes (bytes; 0 = layer absent).  Sorted and de-duplicated
   /// by the constructor.
@@ -119,13 +130,27 @@ class Explorer {
   /// before the run, written back after it when anything was evaluated.
   ExploreResult run(const ir::Program& program) const;
 
-  /// Explore against a caller-owned cache (no file I/O).  Batch drivers
-  /// load once, thread one cache through many runs, and save once.
-  ExploreResult run(const ir::Program& program, ResultCache& cache) const;
+  /// Explore against a caller-owned store (no file I/O).  Batch drivers
+  /// load a ResultCache once, thread it through many runs, and save once;
+  /// the server threads its process-wide ConcurrentResultCache through
+  /// every job the same way.
+  ExploreResult run(const ir::Program& program, ResultStore& cache) const;
 
  private:
   ExplorerConfig config_;
 };
+
+/// Canonical cache key of one evaluated design cell: FNV-1a over the
+/// serialized program, the *normalized* effective PipelineConfig, and the
+/// transfer mode.  `effective` must already carry the cell's layer sizes
+/// and strategy; this normalizes away everything that cannot change a
+/// completed result — thread counts, the bnb-par pruning knobs, and the
+/// run budget (budget-truncated results are never cached, see
+/// `cacheable_status`) — so parallelism and deadlines never change a key.
+/// Shared by the Explorer and by `mhla_serve`'s single-run submit path, so
+/// an explore-warmed cache answers matching submits and vice versa.
+std::uint64_t design_cache_key(const std::string& program_text,
+                               core::PipelineConfig effective, bool with_te);
 
 /// Explorer counterpart of `default_sweep()`: the same L1/L2 lattice
 /// (L1 256 B..64 KiB powers of two, L2 {0, 64 KiB, 256 KiB}) with coarse

@@ -1,0 +1,33 @@
+#include "serve/framing.h"
+
+#include <stdexcept>
+
+namespace mhla::serve {
+
+bool LineReader::read_line(std::string& line) {
+  for (;;) {
+    std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line.assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return true;
+    }
+    if (buffer_.size() > kMaxLineBytes) {
+      throw std::runtime_error("protocol violation: line exceeds " +
+                               std::to_string(kMaxLineBytes) + " bytes");
+    }
+    char chunk[4096];
+    std::size_t n = socket_.read_some(chunk, sizeof(chunk));
+    if (n == 0) return false;  // EOF; any partial trailing line was never committed
+    buffer_.append(chunk, n);
+  }
+}
+
+bool write_line(Socket& socket, const std::string& line) {
+  std::string frame = line;
+  frame.push_back('\n');
+  return socket.write_all(frame.data(), frame.size());
+}
+
+}  // namespace mhla::serve

@@ -1,0 +1,94 @@
+#include "serve/job_queue.h"
+
+namespace mhla::serve {
+
+std::string to_string(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Cancelled: return "cancelled";
+    case JobState::Failed: return "failed";
+  }
+  return "?";
+}
+
+std::shared_ptr<Job> JobQueue::accept(JobSpec spec, std::shared_ptr<EventSink> sink) {
+  auto job = std::make_shared<Job>();
+  job->spec = std::move(spec);
+  job->sink = std::move(sink);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return nullptr;
+    job->id = next_id_++;
+    jobs_.emplace(job->id, job);
+  }
+  return job;
+}
+
+bool JobQueue::enqueue(const std::shared_ptr<Job>& job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      job->state.store(JobState::Cancelled, std::memory_order_relaxed);
+      return false;
+    }
+    queue_.push_back(job);
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::shared_ptr<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return nullptr;
+  std::shared_ptr<Job> job = std::move(queue_.front());
+  queue_.pop_front();
+  job->state.store(JobState::Running, std::memory_order_relaxed);
+  return job;
+}
+
+bool JobQueue::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  it->second->cancel->store(true, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<JobStatusView> JobQueue::snapshot(bool has_filter, std::uint64_t only_job) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobStatusView> rows;
+  for (const auto& [id, job] : jobs_) {
+    if (has_filter && id != only_job) continue;
+    rows.push_back({id, job->spec.command,
+                    to_string(job->state.load(std::memory_order_relaxed))});
+  }
+  return rows;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    for (const auto& job : queue_) {
+      job->cancel->store(true, std::memory_order_relaxed);
+      job->state.store(JobState::Cancelled, std::memory_order_relaxed);
+    }
+    queue_.clear();
+  }
+  cv_.notify_all();
+}
+
+void JobQueue::cancel_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, job] : jobs_) {
+    JobState state = job->state.load(std::memory_order_relaxed);
+    if (state == JobState::Queued || state == JobState::Running) {
+      job->cancel->store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace mhla::serve

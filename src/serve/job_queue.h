@@ -1,0 +1,113 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "serve/protocol.h"
+
+namespace mhla::serve {
+
+/// Lifecycle of one server job.
+enum class JobState {
+  Queued,     ///< accepted, waiting for a worker
+  Running,    ///< a worker is on it
+  Done,       ///< finished with a result
+  Cancelled,  ///< cancel flag bound before completion (anytime result sent)
+  Failed,     ///< the run threw; the error went out as the terminal event
+};
+
+std::string to_string(JobState state);
+
+/// Where a job's events are written.  Implemented by the server's per-
+/// connection session; `send` returns false once the peer is gone, which
+/// the workers treat as "stop reporting, keep computing" — the job still
+/// runs to completion (or cancel) and its results still warm the cache.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual bool send(const std::string& line) = 0;
+};
+
+/// Everything a worker needs to run one job.  The program rides as its
+/// canonical serialized text — validated and re-serialized at submission,
+/// re-parsed by the worker.  The text is simultaneously the cache-key
+/// component (see xplore::design_cache_key), and parsing is trivial next to
+/// a pipeline run, so carrying the parsed (move-only) form too buys
+/// nothing.
+struct JobSpec {
+  Command command = Command::Submit;
+  std::string program_text;
+  core::PipelineConfig config;
+  ExploreParams explore;
+};
+
+/// One accepted job.  The cancel flag doubles as the budget's cancel token:
+/// the worker threads it into the run's `core::BudgetSpec`, so a `cancel`
+/// request reaches a mid-flight search through the ordinary cooperative
+/// probe path and the job drains with an anytime (budget_exhausted) result.
+struct Job {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  std::shared_ptr<std::atomic<bool>> cancel = std::make_shared<std::atomic<bool>>(false);
+  std::atomic<JobState> state{JobState::Queued};
+  std::shared_ptr<EventSink> sink;
+};
+
+/// FIFO queue plus registry of every job the server has accepted.  All
+/// methods are thread-safe; `pop` blocks until a job is available or the
+/// queue is closed.
+class JobQueue {
+ public:
+  /// Accept a job: assign the next id and register it, but do NOT hand it
+  /// to the workers yet.  Returns null (and drops the job) once the queue
+  /// is closed.  Acceptance and enqueueing are split deliberately: the
+  /// server must put the `accepted` event on the wire before a worker can
+  /// possibly emit the job's terminal event (a cache-served job finishes in
+  /// microseconds), or a client could observe `done` before `accepted`.
+  std::shared_ptr<Job> accept(JobSpec spec, std::shared_ptr<EventSink> sink);
+
+  /// Make an accepted job visible to the workers.  False once the queue is
+  /// closed — the job will never run and the caller owes the client a
+  /// terminal event.
+  bool enqueue(const std::shared_ptr<Job>& job);
+
+  /// Next job for a worker; null once the queue is closed and drained.
+  /// Marks the job Running before returning it.
+  std::shared_ptr<Job> pop();
+
+  /// Raise a job's cancel flag; false for an unknown id.  Cancelling a
+  /// queued job is honored when a worker picks it up; cancelling a finished
+  /// job is a harmless no-op (still "found").
+  bool cancel(std::uint64_t id);
+
+  /// Status rows of every job, in id order — or of one job when
+  /// `only_job` is set (empty vector for an unknown id).
+  std::vector<JobStatusView> snapshot(bool has_filter = false,
+                                      std::uint64_t only_job = 0) const;
+
+  /// Stop accepting and wake every blocked pop() with null.  Queued jobs
+  /// that no worker claimed are marked Cancelled.
+  void close();
+
+  /// Raise every unfinished job's cancel flag (shutdown path: running jobs
+  /// drain through their budgets).
+  void cancel_all();
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::uint64_t next_id_ = 1;
+  bool closed_ = false;
+};
+
+}  // namespace mhla::serve

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "explore/concurrent_cache.h"
+#include "explore/explorer.h"
+
+namespace mhla::serve {
+
+/// The verbs of the mhla_serve wire protocol.  Every request is one JSON
+/// object on one line (see serve/framing.h) carrying a "cmd" key with the
+/// snake_case verb name; every reply is a stream of event objects (below).
+enum class Command {
+  Submit,      ///< run one pipeline on one program/config
+  Explore,     ///< run a lattice exploration, streaming frontier events
+  Status,      ///< report queued/running/finished jobs
+  Cancel,      ///< raise a job's cancel flag
+  CacheStats,  ///< report the process-wide result-cache counters
+  Shutdown,    ///< drain and stop the server
+};
+
+std::string to_string(Command command);
+
+/// Lattice parameters of an `explore` request.  Empty axes / strategies fall
+/// back to `xplore::default_explorer()`'s lattice on the server, so a
+/// minimal request explores the paper's default design space.
+struct ExploreParams {
+  std::vector<xplore::i64> l1_axis;
+  std::vector<xplore::i64> l2_axis;
+  std::vector<std::string> strategies;
+  bool explore_te = false;
+  std::size_t seed_stride = 2;
+  std::size_t budget = 0;  ///< evaluation-cell cap; 0 = unlimited
+
+  friend bool operator==(const ExploreParams&, const ExploreParams&) = default;
+};
+
+/// One parsed request line.
+///
+/// Request keys by command:
+///   submit   — "program" (.mhla text, required), "config" (PipelineConfig
+///              object, optional; defaults apply).  Deadlines/probe budgets
+///              ride inside config.search ("deadline_seconds"/"max_probes").
+///   explore  — as submit, plus "l1_axis"/"l2_axis" (byte arrays),
+///              "strategies" (names), "explore_te", "seed_stride", "budget".
+///   status   — optional "job" to narrow to one job.
+///   cancel   — "job" (required).
+///   cache_stats, shutdown — no operands.
+struct Request {
+  Command command = Command::Status;
+  std::string program_text;
+  core::PipelineConfig config;
+  bool has_config = false;
+  ExploreParams explore;
+  std::uint64_t job = 0;
+  bool has_job = false;
+};
+
+/// Parse one request line.  Throws std::invalid_argument on malformed JSON,
+/// an unknown "cmd", an unknown key, a missing operand, or a config object
+/// that `core::pipeline_config_from_json` rejects — the server turns the
+/// message into an `error` event verbatim.
+Request parse_request(const std::string& line);
+
+/// Serialize a request to its wire line (the client side of parse_request;
+/// `parse_request(to_json(r))` reproduces `r`).
+std::string to_json(const Request& request);
+
+/// ---- Event builders ------------------------------------------------------
+///
+/// Every reply line is an object with an "event" key:
+///   accepted    — {"event":"accepted","job":N,"command":"explore"}
+///   frontier    — incremental explore progress after each wave: counters
+///                 plus the current frontier with full cell coordinates
+///   done        — terminal event of a submit/explore job ("state" is
+///                 "done"/"cancelled"/"failed"; submit carries the search
+///                 status, certified gap and the measured cost pair,
+///                 explore carries the exploration counters)
+///   status      — {"event":"status","jobs":[{"job":N,"command":..,"state":..}]}
+///   cache_stats — the ConcurrentResultCache counters
+///   cancelled   — cancel acknowledgement ({"found":false} for unknown jobs)
+///   shutdown    — shutdown acknowledgement
+///   error       — {"event":"error","message":...}
+
+std::string event_accepted(std::uint64_t job, Command command);
+
+std::string event_frontier(std::uint64_t job, const xplore::ExploreResult& result);
+
+/// Terminal event of an explore job.
+std::string event_done_explore(std::uint64_t job, const std::string& state,
+                               const xplore::ExploreResult& result);
+
+/// Terminal event of a submit job.  `gap` < 0 means "no certified gap".
+std::string event_done_submit(std::uint64_t job, const std::string& state,
+                              assign::SearchStatus status, double gap, double cycles,
+                              double energy_nj, bool from_cache, std::size_t evaluations);
+
+/// Terminal event of a job that failed before producing a result.
+std::string event_done_failed(std::uint64_t job, const std::string& message);
+
+/// One row of a status report.
+struct JobStatusView {
+  std::uint64_t job = 0;
+  Command command = Command::Submit;
+  std::string state;
+};
+
+std::string event_status(const std::vector<JobStatusView>& jobs);
+
+std::string event_cache_stats(const xplore::CacheStats& stats);
+
+std::string event_cancelled(std::uint64_t job, bool found);
+
+std::string event_shutdown();
+
+std::string event_error(const std::string& message);
+
+}  // namespace mhla::serve

@@ -1,0 +1,335 @@
+#include "serve/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/pipeline.h"
+#include "explore/explorer.h"
+#include "ir/serialize.h"
+#include "serve/framing.h"
+#include "serve/protocol.h"
+
+namespace mhla::serve {
+
+/// One connection: the reader thread that parses request lines, and the
+/// event sink its jobs write to.  Kept alive by shared_ptr — the server's
+/// session list drops at teardown, but a job holds its sink until it
+/// finishes, so a worker can never write through a destroyed session (the
+/// socket is only shut down, which turns sends into harmless failures).
+class Server::Session : public EventSink, public std::enable_shared_from_this<Session> {
+ public:
+  Session(Server& server, Socket socket) : server_(server), socket_(std::move(socket)) {}
+
+  void start() {
+    thread_ = std::thread([self = shared_from_this()] { self->loop(); });
+  }
+
+  bool send(const std::string& line) override {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    return write_line(socket_, line);
+  }
+
+  void shutdown() { socket_.shutdown_both(); }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+
+ private:
+  void loop() {
+    LineReader reader(socket_);
+    std::string line;
+    try {
+      while (reader.read_line(line)) {
+        if (line.empty()) continue;
+        server_.handle_request(shared_from_this(), line);
+      }
+    } catch (const std::exception& error) {
+      send(event_error(error.what()));  // oversized line / hard socket error
+    }
+    finished_.store(true, std::memory_order_release);
+  }
+
+  Server& server_;
+  Socket socket_;
+  std::mutex write_mu_;
+  std::thread thread_;
+  std::atomic<bool> finished_{false};
+};
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_bounds, config_.cache_shards),
+      listener_(config_.host, config_.port) {
+  if (!config_.cache_path.empty()) {
+    xplore::ResultCache::LoadReport report = cache_.load_file(config_.cache_path);
+    if (!report.clean) std::cerr << "mhla_serve: " << report.message << "\n";
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  unsigned workers = config_.workers ? config_.workers : 2;
+  for (unsigned i = 0; i < workers; ++i) {
+    worker_threads_.emplace_back([this] { worker_loop(); });
+  }
+  if (!config_.cache_path.empty() && config_.persist_interval_seconds > 0.0) {
+    persist_thread_ = std::thread([this] { persist_loop(); });
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock, [&] { return stop_requested_; });
+}
+
+bool Server::wait_for(double seconds) {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  return stop_cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                           [&] { return stop_requested_; });
+}
+
+void Server::stop() {
+  request_stop();
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+
+  // 1. No new connections; the acceptor drains out.
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Unblock and join every reader.  Session objects stay alive through
+  // the shared_ptrs their in-flight jobs hold; their sockets are only shut
+  // down, so late event sends fail cleanly instead of racing destruction.
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions.swap(sessions_);
+  }
+  for (const auto& session : sessions) session->shutdown();
+  for (const auto& session : sessions) session->join();
+
+  // 3. Cancel everything in flight and let the workers drain: running jobs
+  // observe their cancel tokens through the budget probes and finish with
+  // anytime results (which still warm the cache).
+  queue_.cancel_all();
+  queue_.close();
+  for (std::thread& worker : worker_threads_) {
+    if (worker.joinable()) worker.join();
+  }
+  worker_threads_.clear();
+
+  // 4. Stop the persister and write the final save.
+  if (persist_thread_.joinable()) persist_thread_.join();
+  if (!config_.cache_path.empty()) {
+    try {
+      cache_.save_if_dirty(config_.cache_path);
+    } catch (const std::exception& error) {
+      std::cerr << "mhla_serve: final cache save failed: " << error.what() << "\n";
+    }
+  }
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    Socket socket = listener_.accept();
+    if (!socket.valid()) return;
+    auto session = std::make_shared<Session>(*this, std::move(socket));
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      // Reap readers that already hit EOF, so a long-lived server does not
+      // accumulate one exited thread per past connection.
+      for (auto it = sessions_.begin(); it != sessions_.end();) {
+        if ((*it)->finished()) {
+          (*it)->join();
+          it = sessions_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      sessions_.push_back(session);
+    }
+    session->start();
+  }
+}
+
+void Server::handle_request(const std::shared_ptr<Session>& session, const std::string& line) {
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const std::exception& error) {
+    session->send(event_error(error.what()));
+    return;
+  }
+
+  switch (request.command) {
+    case Command::Submit:
+    case Command::Explore: {
+      JobSpec spec;
+      spec.command = request.command;
+      try {
+        // Validate now, fail fast; store the canonical serialization — the
+        // same text the explorer hashes, so formatting differences in the
+        // request never split cache keys.
+        spec.program_text = ir::serialize(ir::parse_program(request.program_text));
+      } catch (const std::exception& error) {
+        session->send(event_error(error.what()));
+        return;
+      }
+      spec.config = request.config;
+      spec.explore = request.explore;
+      std::shared_ptr<Job> job = queue_.accept(std::move(spec), session);
+      if (!job) {
+        session->send(event_error("server is shutting down"));
+        return;
+      }
+      // `accepted` must be on the wire before a worker can see the job: a
+      // cache-served job finishes instantly, and its terminal event must
+      // never overtake the acceptance.
+      session->send(event_accepted(job->id, request.command));
+      if (!queue_.enqueue(job)) {
+        job->sink->send(event_done_failed(job->id, "server is shutting down"));
+      }
+      break;
+    }
+    case Command::Status:
+      session->send(event_status(queue_.snapshot(request.has_job, request.job)));
+      break;
+    case Command::Cancel:
+      session->send(event_cancelled(request.job, queue_.cancel(request.job)));
+      break;
+    case Command::CacheStats:
+      session->send(event_cache_stats(cache_.stats()));
+      break;
+    case Command::Shutdown:
+      session->send(event_shutdown());
+      request_stop();
+      break;
+  }
+}
+
+void Server::worker_loop() {
+  while (std::shared_ptr<Job> job = queue_.pop()) run_job(job);
+}
+
+void Server::run_job(const std::shared_ptr<Job>& job) {
+  try {
+    if (job->spec.command == Command::Submit) {
+      run_submit(*job);
+    } else {
+      run_explore(*job);
+    }
+  } catch (const std::exception& error) {
+    job->state.store(JobState::Failed, std::memory_order_relaxed);
+    job->sink->send(event_done_failed(job->id, error.what()));
+  }
+}
+
+void Server::run_submit(Job& job) {
+  core::PipelineConfig effective = job.spec.config;
+
+  // A submit is one cell of the same design space the explorer walks: key
+  // it identically (canonical TE variant), so an explore-warmed cache
+  // answers a matching submit — and a submit warms future explores.
+  const bool with_te = true;
+  const std::uint64_t key = xplore::design_cache_key(job.spec.program_text, effective, with_te);
+
+  xplore::CacheEntry cached;
+  if (cache_.lookup(key, cached)) {
+    job.state.store(JobState::Done, std::memory_order_relaxed);
+    double gap = cached.status == assign::SearchStatus::Optimal ? 0.0 : -1.0;
+    job.sink->send(event_done_submit(job.id, "done", cached.status, gap, cached.cycles,
+                                     cached.energy_nj, /*from_cache=*/true,
+                                     /*evaluations=*/0));
+    return;
+  }
+
+  // The job's cancel token rides into the run budget, so a `cancel` request
+  // reaches the search through its cooperative probes.
+  effective.search.budget.cancel = job.cancel;
+  core::Pipeline pipeline(effective);
+  core::PipelineResult run = pipeline.run(ir::parse_program(job.spec.program_text));
+
+  // Same point selection as the explorer's canonical variant: the TE'd
+  // simulation when a transfer engine exists, blocking otherwise.
+  const sim::SimResult& point = effective.dma.present ? run.points.mhla_te : run.points.mhla;
+
+  xplore::CacheEntry entry;
+  entry.l1_bytes = effective.platform.l1_bytes;
+  entry.l2_bytes = effective.platform.l2_bytes;
+  entry.strategy = effective.strategy;
+  entry.with_te = with_te;
+  entry.cycles = point.total_cycles();
+  entry.energy_nj = point.energy_nj;
+  entry.status = run.search.status;
+  cache_.insert(key, std::move(entry));  // status guard drops truncated results
+
+  const bool cancelled = job.cancel->load(std::memory_order_relaxed) &&
+                         run.search.status == assign::SearchStatus::BudgetExhausted;
+  job.state.store(cancelled ? JobState::Cancelled : JobState::Done, std::memory_order_relaxed);
+  job.sink->send(event_done_submit(job.id, cancelled ? "cancelled" : "done", run.search.status,
+                                   run.search.gap, point.total_cycles(), point.energy_nj,
+                                   /*from_cache=*/false, /*evaluations=*/1));
+}
+
+void Server::run_explore(Job& job) {
+  xplore::ExplorerConfig config = xplore::default_explorer();
+  config.pipeline = job.spec.config;
+  const ExploreParams& params = job.spec.explore;
+  if (!params.l1_axis.empty()) config.l1_axis = params.l1_axis;
+  if (!params.l2_axis.empty()) config.l2_axis = params.l2_axis;
+  config.strategies = params.strategies;  // empty = {pipeline.strategy}
+  config.explore_te = params.explore_te;
+  config.seed_stride = params.seed_stride;
+  config.budget = params.budget;
+  config.pipeline.search.budget.cancel = job.cancel;
+
+  Job* streamed = &job;
+  config.on_wave = [streamed](const xplore::ExploreResult& running) {
+    streamed->sink->send(event_frontier(streamed->id, running));
+  };
+
+  xplore::Explorer explorer(std::move(config));
+  xplore::ExploreResult result = explorer.run(ir::parse_program(job.spec.program_text), cache_);
+
+  const bool cancelled =
+      job.cancel->load(std::memory_order_relaxed) && result.budget_exhausted;
+  job.state.store(cancelled ? JobState::Cancelled : JobState::Done, std::memory_order_relaxed);
+  job.sink->send(event_done_explore(job.id, cancelled ? "cancelled" : "done", result));
+}
+
+void Server::persist_loop() {
+  const auto interval = std::chrono::duration<double>(config_.persist_interval_seconds);
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_requested_) {
+    stop_cv_.wait_for(lock, interval, [&] { return stop_requested_; });
+    if (stop_requested_) return;  // the final save runs in stop()
+    lock.unlock();
+    try {
+      cache_.save_if_dirty(config_.cache_path);
+    } catch (const std::exception& error) {
+      // Persistence failures must not take the server down; the previous
+      // document on disk is intact (crash-safe saver) and the next tick
+      // retries.
+      std::cerr << "mhla_serve: periodic cache save failed: " << error.what() << "\n";
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace mhla::serve

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "explore/concurrent_cache.h"
+#include "serve/job_queue.h"
+#include "serve/socket.h"
+
+namespace mhla::serve {
+
+/// Deployment knobs of one Server instance.
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 binds an ephemeral port; Server::port() reports it
+
+  /// Job workers.  Each claims whole jobs; per-job parallelism comes from
+  /// the job's own config (`num_threads`), so the two multiply deliberately.
+  unsigned workers = 2;
+
+  /// Persistent cache document; empty = in-memory only.  Loaded (with the
+  /// salvage semantics of ResultCache::load) at startup, written back by
+  /// the periodic persister and at shutdown via the crash-safe saver.
+  std::string cache_path;
+
+  /// Persister period; <= 0 disables the periodic thread (the shutdown
+  /// save still runs).
+  double persist_interval_seconds = 0.0;
+
+  xplore::CacheBounds cache_bounds;
+  std::size_t cache_shards = 0;  ///< 0 = ConcurrentResultCache default
+};
+
+/// The mhla_serve engine: a TCP server speaking the newline-delimited JSON
+/// protocol of serve/protocol.h.
+///
+/// Threads: one acceptor, one reader per connection (the Session, which is
+/// also the job's event sink), `config.workers` job workers draining one
+/// JobQueue, and an optional periodic persister.  All jobs share the one
+/// process-wide ConcurrentResultCache, so a submit is answered from cache
+/// when any earlier job — submit or explore — evaluated the same design
+/// point (see xplore::design_cache_key).
+///
+/// The constructor binds and starts serving.  A `shutdown` request only
+/// *requests* the stop (wait()/wait_for() observe it); the owning thread
+/// performs the actual teardown by calling stop() — never a session thread,
+/// which could not join itself.
+class Server {
+ public:
+  /// Bind, load the persistent cache, start all threads.  Throws
+  /// std::runtime_error when the address cannot be bound or the cache file
+  /// exists but cannot be read.
+  explicit Server(ServerConfig config);
+
+  /// Equivalent to stop().
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  int port() const { return listener_.port(); }
+  const ServerConfig& config() const { return config_; }
+  xplore::ConcurrentResultCache& cache() { return cache_; }
+
+  /// Ask the server to stop (idempotent, callable from any thread,
+  /// including session threads handling a `shutdown` request).
+  void request_stop();
+
+  /// Block until a stop has been requested.
+  void wait();
+
+  /// Wait up to `seconds`; true when a stop has been requested (a signal-
+  /// handling main loop polls this between checks of its own flag).
+  bool wait_for(double seconds);
+
+  /// Full teardown: stop accepting, unblock and join every session, drain
+  /// the job queue (running jobs are cancelled and finish with anytime
+  /// results), join the workers and the persister, write the final cache
+  /// save.  Idempotent; must not be called from a session thread.
+  void stop();
+
+ private:
+  class Session;
+
+  void accept_loop();
+  void worker_loop();
+  void persist_loop();
+  void handle_request(const std::shared_ptr<Session>& session, const std::string& line);
+  void run_job(const std::shared_ptr<Job>& job);
+  void run_submit(Job& job);
+  void run_explore(Job& job);
+
+  ServerConfig config_;
+  xplore::ConcurrentResultCache cache_;
+  Listener listener_;
+  JobQueue queue_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+
+  std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::thread persist_thread_;
+};
+
+}  // namespace mhla::serve

@@ -1,0 +1,194 @@
+#include "serve/socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace mhla::serve {
+
+#ifndef _WIN32
+
+namespace {
+
+[[noreturn]] void socket_error(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Numeric IPv4 only (plus the "localhost" convenience): the server binds
+/// loopback or an explicit interface address; name resolution stays out of
+/// the library.
+in_addr parse_host(const std::string& host) {
+  in_addr address{};
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &address) != 1) {
+    throw std::runtime_error("cannot parse host address '" + host +
+                             "' (numeric IPv4 or \"localhost\")");
+  }
+  return address;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+std::size_t Socket::read_some(char* buffer, std::size_t max) {
+  if (fd_ < 0) return 0;
+  for (;;) {
+    ssize_t n = ::recv(fd_, buffer, max, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    // A peer that vanished mid-read is an EOF, not a crash: the framing
+    // layer treats the connection as closed either way.
+    if (errno == ECONNRESET || errno == EPIPE || errno == EBADF) return 0;
+    socket_error("recv failed");
+  }
+}
+
+bool Socket::write_all(const char* data, std::size_t size) {
+  if (fd_ < 0) return false;
+  std::size_t sent = 0;
+  while (sent < size) {
+#ifdef MSG_NOSIGNAL
+    ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+#else
+    ssize_t n = ::send(fd_, data + sent, size - sent, 0);
+#endif
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET || errno == EBADF)) return false;
+    socket_error("send failed");
+  }
+  return true;
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket connect_to(const std::string& host, int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) socket_error("cannot create socket");
+  Socket socket(fd);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  address.sin_addr = parse_host(host);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    socket_error("cannot connect to " + host + ":" + std::to_string(port));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));  // best effort
+  return socket;
+}
+
+Listener::Listener(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) socket_error("cannot create listening socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  address.sin_addr = parse_host(host);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    socket_error("cannot bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd_, 64) != 0) {
+    int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    socket_error("cannot listen on " + host + ":" + std::to_string(port));
+  }
+  socklen_t length = sizeof(address);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&address), &length) == 0) {
+    port_ = ntohs(address.sin_port);
+  } else {
+    port_ = port;
+  }
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));  // best effort
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Socket{};  // listener shut down (EINVAL) or hard failure: stop accepting
+  }
+}
+
+void Listener::close() {
+  // Shut down instead of closing: a blocked accept() returns with EINVAL,
+  // and the fd itself stays reserved until the destructor so no concurrent
+  // open can reuse the number while accept() still references it.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+#else  // _WIN32
+
+namespace {
+[[noreturn]] void unsupported() {
+  throw std::runtime_error("mhla serve/ requires POSIX sockets (not built for Windows)");
+}
+}  // namespace
+
+Socket::~Socket() = default;
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+Socket& Socket::operator=(Socket&& other) noexcept {
+  fd_ = std::exchange(other.fd_, -1);
+  return *this;
+}
+std::size_t Socket::read_some(char*, std::size_t) { unsupported(); }
+bool Socket::write_all(const char*, std::size_t) { unsupported(); }
+void Socket::shutdown_both() {}
+void Socket::close() {}
+Socket connect_to(const std::string&, int) { unsupported(); }
+Listener::Listener(const std::string&, int) { unsupported(); }
+Listener::~Listener() = default;
+Socket Listener::accept() { unsupported(); }
+void Listener::close() {}
+
+#endif
+
+}  // namespace mhla::serve

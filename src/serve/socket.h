@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mhla::serve {
+
+/// Thin RAII wrapper over one connected stream-socket file descriptor.
+/// Move-only; the descriptor closes with the owner.  All I/O is blocking —
+/// the server dedicates a reader thread per connection and unblocks it by
+/// shutting the socket down from another thread (`shutdown_both`), which is
+/// the POSIX-portable way to interrupt a blocked recv without racing fd
+/// reuse the way a bare close() would.
+///
+/// POSIX only (the whole serve/ subsystem is): on Windows every operation
+/// throws std::runtime_error at the call site.
+class Socket {
+ public:
+  Socket() = default;                ///< invalid (fd -1)
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Read up to `max` bytes into `buffer`.  Returns the byte count, 0 on
+  /// orderly EOF (or after shutdown_both), and throws std::runtime_error
+  /// on a hard socket error.
+  std::size_t read_some(char* buffer, std::size_t max);
+
+  /// Write all of `data`; false when the peer is gone (connection reset /
+  /// broken pipe — never a SIGPIPE), throws on other hard errors.
+  bool write_all(const char* data, std::size_t size);
+
+  /// Disallow further sends and receives; any thread blocked in read_some
+  /// returns 0.  Safe to call from another thread and more than once.
+  void shutdown_both();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connect to `host:port` (numeric IPv4 or "localhost").  Throws
+/// std::runtime_error when the connection cannot be established.
+Socket connect_to(const std::string& host, int port);
+
+/// Listening TCP socket.  Binds immediately; `port() ` reports the actual
+/// port (useful with an ephemeral bind to port 0).  `accept` blocks until a
+/// connection arrives and returns an invalid Socket once the listener has
+/// been closed from another thread.
+class Listener {
+ public:
+  /// Bind + listen on `host:port`; throws std::runtime_error on failure
+  /// (address in use, bad host, ...).
+  Listener(const std::string& host, int port);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  int port() const { return port_; }
+
+  /// Next connection; invalid Socket after close().
+  Socket accept();
+
+  /// Stop accepting: unblocks every accept() with an invalid Socket.
+  /// Idempotent and callable from any thread.
+  void close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace mhla::serve

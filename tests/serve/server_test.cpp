@@ -1,0 +1,336 @@
+#ifndef _WIN32
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "apps/registry.h"
+#include "core/json.h"
+#include "helpers.h"
+#include "ir/serialize.h"
+#include "serve/framing.h"
+#include "serve/protocol.h"
+#include "serve/socket.h"
+
+namespace mhla::serve {
+namespace {
+
+using core::Json;
+
+std::string temp_path(const std::string& name) {
+  std::string path = ::testing::TempDir() + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+/// One protocol connection against a Server under test.
+class TestClient {
+ public:
+  explicit TestClient(int port)
+      : socket_(connect_to("127.0.0.1", port)), reader_(socket_) {}
+
+  void send(const Request& request) { ASSERT_TRUE(write_line(socket_, to_json(request))); }
+  void send_raw(const std::string& line) { ASSERT_TRUE(write_line(socket_, line)); }
+
+  /// Next event object; fails the test on EOF.
+  Json next() {
+    std::string line;
+    if (!reader_.read_line(line)) throw std::runtime_error("server closed the connection");
+    return Json::parse(line);
+  }
+
+  /// Skip events until one named `name` arrives (a frontier stream may be
+  /// interleaved before the terminal event).  An unexpected `error` event
+  /// fails immediately — waiting past it would block forever.
+  Json next_named(const std::string& name) {
+    for (;;) {
+      Json event = next();
+      const std::string& got = event.at("event").string();
+      if (got == name) return event;
+      if (got == "error") {
+        throw std::runtime_error("server error while waiting for '" + name +
+                                 "': " + event.at("message").string());
+      }
+    }
+  }
+
+ private:
+  Socket socket_;
+  LineReader reader_;
+};
+
+Request submit_request(const ir::Program& program) {
+  Request request;
+  request.command = Command::Submit;
+  request.program_text = ir::serialize(program);
+  request.config.platform = mhla::testing::small_platform();
+  request.has_config = true;
+  return request;
+}
+
+Request explore_request(const ir::Program& program) {
+  Request request;
+  request.command = Command::Explore;
+  request.program_text = ir::serialize(program);
+  request.config.platform = mhla::testing::small_platform();
+  request.has_config = true;
+  request.explore.l1_axis = {128, 256, 512, 1024, 2048};
+  request.explore.l2_axis = {0, 8192};
+  return request;
+}
+
+TEST(Server, SubmitColdThenWarmFromCache) {
+  Server server({});
+  TestClient client(server.port());
+
+  Request request = submit_request(mhla::testing::tiny_stream_program());
+  client.send(request);
+  Json accepted = client.next_named("accepted");
+  EXPECT_EQ(accepted.at("command").string(), "submit");
+
+  Json cold = client.next_named("done");
+  EXPECT_EQ(cold.at("kind").string(), "submit");
+  EXPECT_EQ(cold.at("state").string(), "done");
+  EXPECT_FALSE(cold.at("from_cache").boolean());
+  EXPECT_EQ(cold.at("evaluations").integer(), 1);
+  EXPECT_GT(cold.at("cycles").number(), 0.0);
+
+  // The warm re-submit must be answered from the concurrent cache with
+  // zero pipeline evaluations and the identical measured pair.
+  client.send(request);
+  client.next_named("accepted");
+  Json warm = client.next_named("done");
+  EXPECT_EQ(warm.at("state").string(), "done");
+  EXPECT_TRUE(warm.at("from_cache").boolean());
+  EXPECT_EQ(warm.at("evaluations").integer(), 0);
+  EXPECT_EQ(warm.at("cycles").number(), cold.at("cycles").number());
+  EXPECT_EQ(warm.at("energy_nj").number(), cold.at("energy_nj").number());
+  EXPECT_EQ(warm.at("status").string(), cold.at("status").string());
+}
+
+TEST(Server, ExploreStreamsFrontierEventsAndWarmReplayEvaluatesNothing) {
+  Server server({});
+  TestClient client(server.port());
+
+  Request request = explore_request(mhla::testing::blocked_reuse_program());
+  client.send(request);
+  client.next_named("accepted");
+
+  // At least one incremental frontier event must precede the terminal done.
+  std::size_t frontier_events = 0;
+  Json done;
+  for (;;) {
+    Json event = client.next();
+    const std::string& name = event.at("event").string();
+    if (name == "frontier") {
+      ++frontier_events;
+      EXPECT_FALSE(event.at("frontier").array().empty());
+    } else if (name == "done") {
+      done = std::move(event);
+      break;
+    }
+  }
+  EXPECT_GE(frontier_events, 1u);
+  EXPECT_EQ(done.at("kind").string(), "explore");
+  EXPECT_EQ(done.at("state").string(), "done");
+  EXPECT_GT(done.at("evaluations").integer(), 0);
+  EXPECT_GT(done.at("frontier_size").integer(), 0);
+
+  // Warm replay: the identical exploration answered entirely from cache.
+  client.send(request);
+  client.next_named("accepted");
+  Json warm = client.next_named("done");
+  EXPECT_EQ(warm.at("evaluations").integer(), 0);
+  EXPECT_EQ(warm.at("cache_hits").integer(), warm.at("samples").integer());
+  EXPECT_EQ(warm.at("frontier_size").integer(), done.at("frontier_size").integer());
+
+  // A submit of one explored cell is answered from the explore-warmed cache.
+  Request submit = submit_request(mhla::testing::blocked_reuse_program());
+  submit.config.platform.l1_bytes = 1024;
+  submit.config.platform.l2_bytes = 8192;
+  client.send(submit);
+  client.next_named("accepted");
+  Json cross = client.next_named("done");
+  EXPECT_TRUE(cross.at("from_cache").boolean());
+  EXPECT_EQ(cross.at("evaluations").integer(), 0);
+}
+
+TEST(Server, CancelMidFlightEndsBudgetExhaustedWithCertifiedGap) {
+  ServerConfig config;
+  Server server(config);
+  TestClient client(server.port());
+
+  // A genuinely long-running exact search: a real app on the default
+  // platform with the state cap effectively removed, so only the cancel
+  // (or the 60 s deadline backstop that keeps a broken cancel from
+  // hanging the suite) can stop it.
+  Request request;
+  request.command = Command::Submit;
+  request.program_text = ir::serialize(apps::build_app("mpeg2_encoder"));
+  request.config.strategy = "bnb";
+  request.config.search.max_states = 2'000'000'000L;
+  request.config.search.budget.deadline_seconds = 60.0;
+  request.has_config = true;
+
+  const auto start = std::chrono::steady_clock::now();
+  client.send(request);
+  Json accepted = client.next_named("accepted");
+  const std::uint64_t job = static_cast<std::uint64_t>(accepted.at("job").integer());
+
+  // Let the search get past its root bound, then cancel from a second
+  // connection (cancel must work across connections).
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  TestClient canceller(server.port());
+  Request cancel;
+  cancel.command = Command::Cancel;
+  cancel.job = job;
+  cancel.has_job = true;
+  canceller.send(cancel);
+  Json ack = canceller.next_named("cancelled");
+  EXPECT_TRUE(ack.at("found").boolean());
+
+  Json done = client.next_named("done");
+  EXPECT_EQ(done.at("state").string(), "cancelled");
+  EXPECT_EQ(done.at("status").string(), "budget_exhausted");
+  EXPECT_GE(done.at("gap").number(), 0.0) << "an exact engine must certify its gap";
+  EXPECT_FALSE(done.at("from_cache").boolean());
+
+  // If the cancel had not reached the search, only the 60 s deadline could
+  // have ended it — so a prompt finish is the proof the cancel bound.
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_LT(elapsed, 30.0) << "job only ended via the deadline backstop, not the cancel";
+
+  // A budget-truncated result must not have poisoned the cache: the same
+  // submit without the cancel must actually evaluate.
+  EXPECT_EQ(server.cache().stats().entries, 0u);
+}
+
+TEST(Server, StatusAndCacheStatsReportJobsAndCounters) {
+  Server server({});
+  TestClient client(server.port());
+
+  client.send(submit_request(mhla::testing::producer_consumer_program()));
+  Json accepted = client.next_named("accepted");
+  client.next_named("done");
+
+  Request status;
+  status.command = Command::Status;
+  client.send(status);
+  Json report = client.next_named("status");
+  ASSERT_EQ(report.at("jobs").array().size(), 1u);
+  const Json& row = report.at("jobs").array()[0];
+  EXPECT_EQ(row.at("job").integer(), accepted.at("job").integer());
+  EXPECT_EQ(row.at("command").string(), "submit");
+  EXPECT_EQ(row.at("state").string(), "done");
+
+  Request stats;
+  stats.command = Command::CacheStats;
+  client.send(stats);
+  Json counters = client.next_named("cache_stats");
+  EXPECT_EQ(counters.at("entries").integer(), 1);
+  EXPECT_GE(counters.at("insertions").integer(), 1);
+  EXPECT_GE(counters.at("shards").integer(), 1);
+}
+
+TEST(Server, MalformedRequestsYieldErrorEventsAndKeepTheConnection) {
+  Server server({});
+  TestClient client(server.port());
+
+  client.send_raw("this is not json");
+  EXPECT_EQ(client.next().at("event").string(), "error");
+
+  client.send_raw(R"({"cmd": "frobnicate"})");
+  Json unknown = client.next();
+  EXPECT_EQ(unknown.at("event").string(), "error");
+  EXPECT_NE(unknown.at("message").string().find("unknown command"), std::string::npos);
+
+  // A submit whose program fails to parse is rejected before queueing.
+  Request bad = submit_request(mhla::testing::tiny_stream_program());
+  bad.program_text = "array oops {";
+  client.send(bad);
+  EXPECT_EQ(client.next().at("event").string(), "error");
+
+  // Cancel of an unknown job acknowledges found=false.
+  Request cancel;
+  cancel.command = Command::Cancel;
+  cancel.job = 12345;
+  cancel.has_job = true;
+  client.send(cancel);
+  Json ack = client.next_named("cancelled");
+  EXPECT_FALSE(ack.at("found").boolean());
+
+  // The connection survived all of it.
+  Request status;
+  status.command = Command::Status;
+  client.send(status);
+  EXPECT_EQ(client.next().at("event").string(), "status");
+}
+
+TEST(Server, ShutdownVerbDrainsAndPersistsForAWarmRestart) {
+  const std::string cache_path = temp_path("mhla_server_restart_cache.json");
+  Json cold_done;
+  {
+    ServerConfig config;
+    config.cache_path = cache_path;
+    Server server(config);
+    TestClient client(server.port());
+
+    client.send(submit_request(mhla::testing::tiny_stream_program()));
+    client.next_named("accepted");
+    cold_done = client.next_named("done");
+    EXPECT_FALSE(cold_done.at("from_cache").boolean());
+
+    Request shutdown;
+    shutdown.command = Command::Shutdown;
+    client.send(shutdown);
+    EXPECT_EQ(client.next_named("shutdown").at("event").string(), "shutdown");
+    EXPECT_TRUE(server.wait_for(10.0)) << "shutdown verb must request the stop";
+    server.stop();
+  }
+
+  // A new server over the same cache document answers the same submit from
+  // cache without a single pipeline evaluation.
+  {
+    ServerConfig config;
+    config.cache_path = cache_path;
+    Server server(config);
+    EXPECT_EQ(server.cache().size(), 1u);
+    TestClient client(server.port());
+    client.send(submit_request(mhla::testing::tiny_stream_program()));
+    client.next_named("accepted");
+    Json warm = client.next_named("done");
+    EXPECT_TRUE(warm.at("from_cache").boolean());
+    EXPECT_EQ(warm.at("evaluations").integer(), 0);
+    EXPECT_EQ(warm.at("cycles").number(), cold_done.at("cycles").number());
+  }
+  std::remove(cache_path.c_str());
+}
+
+TEST(Server, StopWithQueuedWorkCancelsCleanly) {
+  ServerConfig config;
+  config.workers = 1;
+  Server server(config);
+  TestClient client(server.port());
+
+  // More jobs than workers, then tear the server down mid-queue: stop()
+  // must cancel what is running, drain the queue and still join cleanly.
+  Request request = submit_request(mhla::testing::blocked_reuse_program());
+  for (int i = 0; i < 4; ++i) {
+    client.send(request);
+    client.next_named("accepted");
+  }
+  server.stop();
+  SUCCEED() << "teardown with in-flight work joined cleanly";
+}
+
+}  // namespace
+}  // namespace mhla::serve
+
+#endif  // _WIN32
