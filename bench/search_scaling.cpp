@@ -337,7 +337,8 @@ void print_scaling_report() {
 
   // --- Machine-readable summary.
   std::ostringstream json;
-  json << "{\n  \"bench\": \"search_scaling\",\n  \"greedy\": [\n";
+  json << "{\n  \"bench\": \"search_scaling\",\n  \"meta\": " << bench::run_metadata_json()
+       << ",\n  \"greedy\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const GreedyRow& row = rows[i];
     json << "    {\"app\": \"" << core::json_escape(row.app) << "\", \"evaluations\": "

@@ -8,6 +8,7 @@
 //   mhla_client --port <n> --status [--job <n>]
 //   mhla_client --port <n> --cancel --job <n>
 //   mhla_client --port <n> --cache-stats
+//   mhla_client --port <n> --metrics [--stream]
 //   mhla_client --port <n> --shutdown
 //
 // Options:
@@ -23,6 +24,10 @@
 //   --budget <n>       --explore: cap on sampled lattice cells
 //   --explore-te       --explore: add the TE-off axis variant
 //   --seed-stride <n>  --explore: coarse-seed stride (default 2)
+//   --stream           --metrics: after the snapshot, keep the connection
+//                      open and print the server's periodic `stats` events
+//                      until the server closes (requires a server started
+//                      with --stats-interval)
 //
 // For --submit/--explore the client streams events until the job's terminal
 // "done" event.  Exit codes: 0 success, 1 the server reported an error event
@@ -58,6 +63,7 @@ int usage(const char* argv0) {
          "  --status [--job <n>]                            report jobs\n"
          "  --cancel --job <n>                              cancel a job\n"
          "  --cache-stats                                   report cache counters\n"
+         "  --metrics [--stream]                            server metrics snapshot\n"
          "  --shutdown                                      stop the server\n"
          "options: [--config <file>] [--l1 <bytes>] [--l2 <bytes>] [--strategy <name>]\n"
          "         [--threads <n>] [--deadline <s>] [--max-probes <n>] [--no-dma]\n"
@@ -121,6 +127,10 @@ bool parse_args(int argc, char** argv, Options& options) {
       set_action(options, serve::Command::Cancel);
     } else if (arg == "--cache-stats") {
       set_action(options, serve::Command::CacheStats);
+    } else if (arg == "--metrics") {
+      set_action(options, serve::Command::Metrics);
+    } else if (arg == "--stream") {
+      options.request.stream_stats = true;
     } else if (arg == "--shutdown") {
       set_action(options, serve::Command::Shutdown);
     } else if (arg == "--app") {
@@ -219,6 +229,8 @@ int main(int argc, char** argv) {
 
     const bool streaming = options.request.command == serve::Command::Submit ||
                            options.request.command == serve::Command::Explore;
+    const bool stats_stream = options.request.command == serve::Command::Metrics &&
+                              options.request.stream_stats;
     serve::LineReader reader(socket);
     std::string line;
     int exit_code = 5;  // EOF before any terminal event is an I/O failure
@@ -232,6 +244,9 @@ int main(int argc, char** argv) {
       }
       if (!streaming) {
         exit_code = 0;
+        // A subscribed metrics connection stays open: keep relaying the
+        // periodic `stats` lines until the server closes (EOF exits 0).
+        if (stats_stream) continue;
         break;
       }
       if (name == "done") {

@@ -8,6 +8,7 @@
 //              [--workers <n>] [--cache <file.json>]
 //              [--persist-interval <seconds>] [--cache-max-entries <n>]
 //              [--cache-evict-floor <n>] [--cache-shards <n>]
+//              [--stats-interval <seconds>]
 //
 // Options:
 //   --host <ipv4>             bind address (default 127.0.0.1)
@@ -24,6 +25,11 @@
 //   --cache-max-entries <n>   bound on resident cache entries (0 = unbounded)
 //   --cache-evict-floor <n>   eviction never drops the cache below this
 //   --cache-shards <n>        lock stripes (rounded up to a power of two)
+//   --stats-interval <s>      broadcast a `stats` metrics event every <s>
+//                             seconds to connections subscribed via
+//                             {"cmd":"metrics","stream":true}; 0 disables
+//                             the broadcaster (default 0; the one-shot
+//                             `metrics` verb always works)
 //
 // Prints "mhla_serve listening on HOST:PORT" once accepting.  SIGINT/SIGTERM
 // (or a `shutdown` request) drain the server: running jobs are cancelled
@@ -56,7 +62,7 @@ int usage(const char* argv0) {
             << " [--host <ipv4>] [--port <n>] [--port-file <path>] [--workers <n>]\n"
                "       [--cache <file.json>] [--persist-interval <seconds>]\n"
                "       [--cache-max-entries <n>] [--cache-evict-floor <n>]\n"
-               "       [--cache-shards <n>]\n\n"
+               "       [--cache-shards <n>] [--stats-interval <seconds>]\n\n"
                "exit codes: 0 clean shutdown, 2 usage, 3 validation, 5 I/O\n";
   return 2;
 }
@@ -119,6 +125,11 @@ int main(int argc, char** argv) {
         long long n = std::stoll(next());
         if (n < 0) throw std::invalid_argument("--cache-shards must be >= 0");
         config.cache_shards = static_cast<std::size_t>(n);
+      } else if (arg == "--stats-interval") {
+        config.stats_interval_seconds = std::stod(next());
+        if (config.stats_interval_seconds < 0) {
+          throw std::invalid_argument("--stats-interval must be >= 0");
+        }
       } else {
         std::cerr << "error: unknown option '" << arg << "'\n";
         return usage(argv[0]);

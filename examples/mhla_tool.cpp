@@ -40,6 +40,14 @@
 //                     status budget_exhausted) instead of failing it
 //   --max-probes <n>  deterministic run budget in search probes (0 = off) —
 //                     same degradation, reproducible truncation point
+//   --trace <file>    record the run's span timeline and write it as Chrome
+//                     trace-event JSON (load in Perfetto / chrome://tracing);
+//                     covers every pipeline stage plus search/explore
+//                     internals — and never changes results (bit-identity
+//                     with tracing on vs off is a tested contract)
+//   --metrics         after the run, dump the process metrics registry
+//                     (counters/gauges/histograms); with --json the dump
+//                     rides in the result document as a "metrics" block
 //   --dump-config     print the effective PipelineConfig JSON and exit
 //   --footprints      dump the per-layer/per-nest usage matrix and peaks of
 //                     the final (time-extended) assignment; combined with
@@ -79,6 +87,8 @@
 #include "explore/sweep.h"
 #include "ir/printer.h"
 #include "ir/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace mhla;
 
@@ -94,6 +104,8 @@ struct Options {
   bool corpus = false;
   long long budget = 0;
   std::string cache;
+  std::string trace;
+  bool metrics = false;
   bool dump_config = false;
   bool footprints = false;
   bool verbose = false;
@@ -108,8 +120,8 @@ int usage(const char* argv0) {
                "       [--target energy|time|balanced] [--strategy <name>] [--threads <n>]\n"
                "       [--bnb-threads <n>] [--no-dma] [--sweep] [--explore] [--corpus]\n"
                "       [--budget <n>] [--cache <file.json>] [--deadline <seconds>]\n"
-               "       [--max-probes <n>] [--dump-config] [--footprints]\n"
-               "       [--verbose] [--json]\n"
+               "       [--max-probes <n>] [--trace <file.json>] [--metrics]\n"
+               "       [--dump-config] [--footprints] [--verbose] [--json]\n"
                "       " << argv0 << " --cache-merge <out.json> <shard.json>...\n\n"
                "exit codes: 0 ok, 1 internal, 2 usage, 3 validation,\n"
                "            4 run budget exhausted (degraded result), 5 I/O\n\n"
@@ -205,6 +217,10 @@ bool parse_args(int argc, char** argv, Options& options) {
       if (options.pipeline.search.budget.max_probes < 0) {
         throw std::invalid_argument("--max-probes must be >= 0");
       }
+    } else if (arg == "--trace") {
+      options.trace = next();
+    } else if (arg == "--metrics") {
+      options.metrics = true;
     } else if (arg == "--dump-config") {
       options.dump_config = true;
     } else if (arg == "--footprints") {
@@ -255,6 +271,18 @@ int run_cache_merge(const Options& options) {
   return 0;
 }
 
+/// The --json emitters below funnel through this: without --metrics the
+/// body is the whole document (shape unchanged from earlier releases); with
+/// it, the body nests under "result" next to a "metrics" registry snapshot.
+void print_json_result(const std::string& body, const Options& options) {
+  if (!options.metrics) {
+    std::cout << body << "\n";
+    return;
+  }
+  std::cout << "{\n  \"result\":\n" << body << ",\n  \"metrics\": "
+            << core::to_json(obs::Registry::instance().snapshot()) << "\n}\n";
+}
+
 ir::Program load_program(const Options& options) {
   if (!options.app.empty()) return apps::build_app(options.app);
   return ir::parse_program(read_file(options.file));
@@ -269,7 +297,7 @@ void run_sweep(const ir::Program& program, const Options& options) {
   auto samples = xplore::sweep_layer_sizes(program, config);
   auto front = xplore::frontier(samples);
   if (options.json) {
-    std::cout << core::to_json(front) << "\n";
+    print_json_result(core::to_json(front), options);
     return;
   }
   std::cout << "explored " << samples.size() << " configurations; Pareto frontier:\n";
@@ -306,7 +334,7 @@ void run_explore(const ir::Program& program, const Options& options) {
   xplore::Explorer explorer(explorer_config(options));
   xplore::ExploreResult result = explorer.run(program);
   if (options.json) {
-    std::cout << xplore::to_json(result) << "\n";
+    print_json_result(xplore::to_json(result), options);
     return;
   }
   print_explore_report(result);
@@ -317,7 +345,7 @@ void run_corpus(const Options& options) {
   config.explorer = explorer_config(options);
   xplore::CorpusResult result = xplore::explore_corpus(config);
   if (options.json) {
-    std::cout << xplore::to_json(result) << "\n";
+    print_json_result(xplore::to_json(result), options);
     return;
   }
   for (const xplore::CorpusEntry& entry : result.entries) {
@@ -340,13 +368,11 @@ int fail(const Options& options, const std::string& kind, const std::string& wha
   return code;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Options options;
-  try {
-    if (!parse_args(argc, argv, options)) return usage(argv[0]);
-
+/// Everything after flag parsing, returning the process exit code.  Split
+/// out of main so the observability epilogue (trace export, text metrics
+/// dump) runs after *any* successful path — including the degraded exit 4,
+/// whose timeline is the one most worth looking at.
+int run_tool(Options& options) {
     if (!options.cache_merge.empty()) return run_cache_merge(options);
 
     if (options.dump_config) {
@@ -376,8 +402,14 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    auto ws = core::make_workspace(std::move(program), options.pipeline.platform,
-                                   options.pipeline.dma);
+    // The workspace build is the analyze stage (run(Program) would span it
+    // itself; this path pre-builds to keep the workspace for the reports).
+    std::unique_ptr<core::Workspace> ws;
+    {
+      obs::Span span("analyze", "pipeline");
+      ws = core::make_workspace(std::move(program), options.pipeline.platform,
+                                options.pipeline.dma);
+    }
     core::Pipeline pipeline(options.pipeline);
     if (options.verbose) {
       pipeline.set_progress([](const std::string& stage, double seconds) {
@@ -402,10 +434,15 @@ int main(int argc, char** argv) {
     // per-layer/per-nest footprint report of the chosen assignment.
     const assign::FootprintReport& footprints = run.points.mhla_te.footprints;
     if (options.json) {
-      if (options.footprints) {
-        std::cout << "{\n  \"result\":\n" << core::to_json(ws->program().name(), run, 1)
-                  << ",\n  \"footprints\":\n"
-                  << core::to_json(footprints, ws->hierarchy(), 1) << "\n}\n";
+      if (options.footprints || options.metrics) {
+        std::cout << "{\n  \"result\":\n" << core::to_json(ws->program().name(), run, 1);
+        if (options.footprints) {
+          std::cout << ",\n  \"footprints\":\n" << core::to_json(footprints, ws->hierarchy(), 1);
+        }
+        if (options.metrics) {
+          std::cout << ",\n  \"metrics\": " << core::to_json(obs::Registry::instance().snapshot());
+        }
+        std::cout << "\n}\n";
       } else {
         std::cout << core::to_json(ws->program().name(), run) << "\n";
       }
@@ -433,6 +470,33 @@ int main(int argc, char** argv) {
     // the search did not run to its natural end.  Explorer/corpus cell
     // budgets are a sampling knob, not a failure, and stay exit 0.
     return run.search.status == assign::SearchStatus::BudgetExhausted ? 4 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  try {
+    if (!parse_args(argc, argv, options)) return usage(argv[0]);
+
+    // Recording must be live before the pipeline constructs; the exporter
+    // below only serializes what the rings buffered.
+    if (!options.trace.empty()) obs::Tracer::instance().enable(true);
+
+    int code = run_tool(options);
+
+    if (!options.trace.empty()) {
+      std::ofstream out(options.trace);
+      if (!out) throw std::runtime_error("cannot write trace file '" + options.trace + "'");
+      out << obs::Tracer::instance().chrome_trace_json() << "\n";
+      if (!out.flush()) {
+        throw std::runtime_error("short write on trace file '" + options.trace + "'");
+      }
+    }
+    if (options.metrics && !options.json) {
+      std::cout << obs::to_text(obs::Registry::instance().snapshot());
+    }
+    return code;
   } catch (const std::invalid_argument& e) {
     return fail(options, "validation", e.what(), 3);
   } catch (const std::out_of_range& e) {

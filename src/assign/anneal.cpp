@@ -5,6 +5,7 @@
 #include <random>
 
 #include "assign/cost_engine.h"
+#include "obs/trace.h"
 
 namespace mhla::assign {
 
@@ -22,6 +23,7 @@ double draw_unit(std::mt19937& rng) {
 }  // namespace
 
 AnnealResult anneal_assign(const AssignContext& ctx, const AnnealOptions& options) {
+  obs::Span span("anneal_walk", "search");
   AnnealResult result;
 
   CostEngine engine(ctx);  // loads out_of_box

@@ -7,10 +7,13 @@
 #include <utility>
 #include <vector>
 
+#include <cstdio>
+
 #include "assign/cost_engine.h"
 #include "assign/greedy.h"
 #include "core/parallel_for.h"
 #include "core/run_budget.h"
+#include "obs/trace.h"
 
 namespace mhla::assign {
 
@@ -350,6 +353,14 @@ struct EngineSearch {
       best_scalar = scalar;
       best = engine.assignment();
       if (shared_incumbent) shared_incumbent->update(scalar);
+      // Incumbent timeline: rare (once per improvement), observation-only,
+      // and gated on one relaxed load, so the search path never changes.
+      obs::Tracer& tracer = obs::Tracer::instance();
+      if (tracer.enabled()) {
+        char args[64];
+        std::snprintf(args, sizeof args, "{\"scalar\": %.17g, \"state\": %ld}", scalar, states);
+        tracer.instant("incumbent", "search", args);
+      }
     }
   }
 
@@ -577,7 +588,10 @@ ExhaustiveResult exhaustive_engine(const AssignContext& ctx, const ExhaustiveOpt
     search.shared_incumbent = &seed;
   }
   double root_lb = search.bnb ? search.root_scalar_bound() : 0.0;
-  search.run(0);
+  {
+    obs::Span span(search.bnb ? "bnb_walk" : "exhaustive_walk", "search");
+    search.run(0);
+  }
 
   ExhaustiveResult result;
   result.assignment = std::move(search.best);
@@ -665,6 +679,7 @@ ExhaustiveResult exhaustive_parallel(const AssignContext& ctx, const ExhaustiveO
   std::vector<TaskOutcome> outcomes(tasks.size());
   const auto& arrays = ctx.program.arrays();
   core::parallel_for(tasks.size(), threads, [&](std::size_t t) {
+    obs::Span span("bnb_task", "search");
     EngineSearch search(prototype);
     search.shared_incumbent = &incumbent;
     for (std::size_t a = 0; a < tasks[t].size(); ++a) {

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "assign/cost_engine.h"
+#include "obs/trace.h"
 
 namespace mhla::assign {
 
@@ -156,6 +157,7 @@ GreedyResult greedy_assign_reference(const AssignContext& ctx, const GreedyOptio
 /// every candidate is applied to the engine, scored from cached terms, and
 /// undone — no per-candidate assignment copy, no per-candidate resolve.
 GreedyResult greedy_assign_engine(const AssignContext& ctx, const GreedyOptions& options) {
+  obs::Span span("greedy_walk", "search");
   GreedyResult result;
 
   CostEngine engine(ctx);  // loads out_of_box

@@ -252,6 +252,8 @@ std::string to_json(const assign::FootprintReport& report, const mem::Hierarchy&
   return out.str();
 }
 
+std::string to_json(const obs::MetricsSnapshot& snapshot) { return obs::to_json(snapshot); }
+
 std::string to_json(const PipelineConfig& config, int indent) {
   std::ostringstream out = c_stream();
   std::string p0 = pad(indent);

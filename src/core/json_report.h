@@ -5,6 +5,7 @@
 
 #include "core/pipeline.h"
 #include "explore/pareto.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace mhla::core {
@@ -32,6 +33,11 @@ std::string to_json(const std::vector<xplore::TradeoffPoint>& points, int indent
 /// `--footprints --json` dump.
 std::string to_json(const assign::FootprintReport& report, const mem::Hierarchy& hierarchy,
                     int indent = 0);
+
+/// A process-metrics snapshot (obs registry), so report assemblers embed
+/// the counters next to the results they explain ("metrics" block of the
+/// CLI's `--metrics --json` document) without spelling the obs namespace.
+std::string to_json(const obs::MetricsSnapshot& snapshot);
 
 /// A pipeline configuration.  Doubles are emitted with enough digits that
 /// `pipeline_config_from_json(to_json(c)) == c` holds exactly.

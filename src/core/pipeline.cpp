@@ -6,6 +6,8 @@
 
 #include "core/parallel_for.h"
 #include "core/run_budget.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mhla::core {
 
@@ -24,10 +26,10 @@ Pipeline::Pipeline(PipelineConfig config) : config_(std::move(config)) {
 }
 
 PipelineResult Pipeline::run(ir::Program program) const {
-  auto t0 = Clock::now();
+  obs::Span span("analyze", "pipeline");
   std::unique_ptr<Workspace> workspace =
       make_workspace(std::move(program), config_.platform, config_.dma);
-  double analyze_s = seconds_since(t0);
+  double analyze_s = span.finish();
   if (progress_) progress_("analyze", analyze_s);
 
   PipelineResult result = run(*workspace);
@@ -54,37 +56,58 @@ PipelineResult Pipeline::run(const Workspace& workspace) const {
     options.shared_budget = &*local_budget;
   }
 
-  auto t0 = Clock::now();
-  result.search = assign::searcher(config_.strategy).search(ctx, options);
-  double assign_s = seconds_since(t0);
-  result.timings.push_back({"assign", assign_s});
-  if (progress_) progress_("assign", assign_s);
+  // Stage spans carry the StageTiming rows: the span's monotonic clock is
+  // the measurement, the trace ring sees the same interval, and with
+  // tracing off a span is exactly the two clock reads the old code made.
+  {
+    obs::Span span("assign", "pipeline");
+    result.search = assign::searcher(config_.strategy).search(ctx, options);
+    double assign_s = span.finish();
+    result.timings.push_back({"assign", assign_s});
+    if (progress_) progress_("assign", assign_s);
+  }
 
   // The four reference points of the paper's figures.  The TE'd simulation
   // runs the time-extension pass; timing it separately keeps the staged
   // view honest while the values stay bit-identical to simulate_four_points
   // (each point is an independent simulation).
-  t0 = Clock::now();
-  te::TeOptions te_options = config_.te;
-  te_options.budget = options.shared_budget;
-  result.points.mhla_te = sim::simulate(ctx, result.search.assignment,
-                                        {te::TransferMode::TimeExtended, te_options, false});
-  double te_s = seconds_since(t0);
-  result.timings.push_back({"time_extend", te_s});
-  if (progress_) progress_("time_extend", te_s);
+  {
+    obs::Span span("time_extend", "pipeline");
+    te::TeOptions te_options = config_.te;
+    te_options.budget = options.shared_budget;
+    result.points.mhla_te = sim::simulate(ctx, result.search.assignment,
+                                          {te::TransferMode::TimeExtended, te_options, false});
+    double te_s = span.finish();
+    result.timings.push_back({"time_extend", te_s});
+    if (progress_) progress_("time_extend", te_s);
+  }
 
-  t0 = Clock::now();
-  result.points.out_of_box =
-      sim::simulate(ctx, assign::out_of_box(ctx), {te::TransferMode::Blocking, {}, false});
-  result.points.mhla =
-      sim::simulate(ctx, result.search.assignment, {te::TransferMode::Blocking, {}, false});
-  result.points.ideal =
-      sim::simulate(ctx, result.search.assignment, {te::TransferMode::Ideal, {}, false});
-  double simulate_s = seconds_since(t0);
-  result.timings.push_back({"simulate", simulate_s});
-  if (progress_) progress_("simulate", simulate_s);
+  {
+    obs::Span span("simulate", "pipeline");
+    result.points.out_of_box =
+        sim::simulate(ctx, assign::out_of_box(ctx), {te::TransferMode::Blocking, {}, false});
+    result.points.mhla =
+        sim::simulate(ctx, result.search.assignment, {te::TransferMode::Blocking, {}, false});
+    result.points.ideal =
+        sim::simulate(ctx, result.search.assignment, {te::TransferMode::Ideal, {}, false});
+    double simulate_s = span.finish();
+    result.timings.push_back({"simulate", simulate_s});
+    if (progress_) progress_("simulate", simulate_s);
+  }
 
   for (const StageTiming& timing : result.timings) result.total_seconds += timing.seconds;
+
+  // Flush the run's observation counters once, after every stage: the hot
+  // loops accumulated locally (SearchResult carries its own totals), so
+  // this is the only place the registry is touched per run.
+  obs::Registry& registry = obs::Registry::instance();
+  registry.counter("pipeline.runs").add();
+  registry.counter("search.states_explored").add(result.search.states_explored);
+  registry.counter("search.bound_prunes").add(result.search.bound_prunes);
+  registry.counter("search.capacity_prunes").add(result.search.capacity_prunes);
+  registry.counter("search.evaluations").add(result.search.evaluations);
+  registry.histogram("search.states_per_run").record(result.search.states_explored);
+  if (local_budget) registry.counter("search.budget_probes").add(local_budget->probes());
   return result;
 }
 

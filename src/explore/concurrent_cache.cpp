@@ -60,18 +60,18 @@ bool ConcurrentResultCache::lookup(std::uint64_t key, CacheEntry& out) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
-    ++shard.misses;
+    shard.misses.add();
     return false;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
   out = it->second.entry;
-  ++shard.hits;
+  shard.hits.add();
   return true;
 }
 
 bool ConcurrentResultCache::insert(std::uint64_t key, CacheEntry entry) {
   if (!cacheable_status(entry.status)) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_.add();
     return false;
   }
   Shard& shard = shard_of(key);
@@ -95,32 +95,45 @@ bool ConcurrentResultCache::insert(std::uint64_t key, CacheEntry entry) {
         std::uint64_t victim = shard.lru.back();
         shard.lru.pop_back();
         shard.map.erase(victim);
-        ++shard.evictions;
+        shard.evictions.add();
       }
     }
   }
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  insertions_.add();
   version_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 CacheStats ConcurrentResultCache::stats() const {
+  // Every row is a lock-free read of the same cells a registered metrics
+  // source reads: the `cache_stats` verb and a registry snapshot cannot
+  // disagree about this cache.
   CacheStats stats;
   stats.shards = shards_.size();
   stats.entries = size();
-  stats.insertions = insertions_.load(std::memory_order_relaxed);
-  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.value();
+  stats.rejected = rejected_.value();
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    stats.hits += shard->hits;
-    stats.misses += shard->misses;
-    stats.evictions += shard->evictions;
+    stats.hits += shard->hits.value();
+    stats.misses += shard->misses.value();
+    stats.evictions += shard->evictions.value();
   }
-  {
-    std::lock_guard<std::mutex> lock(save_mu_);
-    stats.saves = saves_;
-  }
+  stats.saves = saves_.value();
   return stats;
+}
+
+std::uint64_t ConcurrentResultCache::register_metrics(obs::Registry& registry,
+                                                      std::string prefix) const {
+  return registry.add_source([this, prefix = std::move(prefix)](obs::MetricsSnapshot& out) {
+    CacheStats s = stats();
+    out.counters.emplace_back(prefix + ".hits", s.hits);
+    out.counters.emplace_back(prefix + ".misses", s.misses);
+    out.counters.emplace_back(prefix + ".insertions", s.insertions);
+    out.counters.emplace_back(prefix + ".rejected", s.rejected);
+    out.counters.emplace_back(prefix + ".evictions", s.evictions);
+    out.counters.emplace_back(prefix + ".saves", s.saves);
+    out.gauges.emplace_back(prefix + ".entries", static_cast<std::int64_t>(s.entries));
+  });
 }
 
 void ConcurrentResultCache::merge_from(const ResultCache& other) {
@@ -156,7 +169,7 @@ void ConcurrentResultCache::save(const std::string& path) const {
   std::uint64_t version = version_.load(std::memory_order_acquire);
   snapshot().save(path);
   saved_version_ = version;
-  ++saves_;
+  saves_.add();
 }
 
 bool ConcurrentResultCache::save_if_dirty(const std::string& path) const {
@@ -165,7 +178,7 @@ bool ConcurrentResultCache::save_if_dirty(const std::string& path) const {
   if (version == saved_version_) return false;
   snapshot().save(path);
   saved_version_ = version;
-  ++saves_;
+  saves_.add();
   return true;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "explore/cache.h"
+#include "obs/metrics.h"
 
 namespace mhla::xplore {
 
@@ -88,6 +89,14 @@ class ConcurrentResultCache : public ResultStore {
   CacheStats stats() const;
   const CacheBounds& bounds() const { return bounds_; }
 
+  /// Expose this cache's counters through a metrics registry as
+  /// `<prefix>.hits`, `.misses`, `.insertions`, `.rejected`, `.evictions`,
+  /// `.saves` (counters) and `.entries` (gauge).  The rows are read from
+  /// the same lock-free cells `stats()` sums, so a registry snapshot and a
+  /// `cache_stats` reply can never drift apart.  Returns the source id;
+  /// the caller must `remove_source` it before this cache is destroyed.
+  std::uint64_t register_metrics(obs::Registry& registry, std::string prefix) const;
+
   /// Adopt every cacheable entry of `other` (other wins on collisions;
   /// bounds/eviction apply as for plain inserts).
   void merge_from(const ResultCache& other);
@@ -119,9 +128,13 @@ class ConcurrentResultCache : public ResultStore {
     std::mutex mu;
     std::unordered_map<std::uint64_t, Node> map;
     std::list<std::uint64_t> lru;  ///< front = most recently used
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+    // Lock-free obs counters, not lock-guarded integers: `stats()` and a
+    // registered metrics source read them without taking the shard lock,
+    // so the `cache_stats` verb and the `metrics` verb report the same
+    // numbers from the same cells — one source of truth.
+    obs::Counter hits;
+    obs::Counter misses;
+    obs::Counter evictions;
   };
 
   Shard& shard_of(std::uint64_t key) const;
@@ -134,13 +147,13 @@ class ConcurrentResultCache : public ResultStore {
   std::size_t per_shard_cap_ = 0;  ///< 0 = unbounded
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::size_t> size_{0};
-  std::atomic<std::uint64_t> insertions_{0};
-  std::atomic<std::uint64_t> rejected_{0};
+  obs::Counter insertions_;
+  obs::Counter rejected_;
   std::atomic<std::uint64_t> version_{0};  ///< bumped on every accepted mutation
 
   mutable std::mutex save_mu_;
   mutable std::uint64_t saved_version_ = 0;  ///< guarded by save_mu_
-  mutable std::uint64_t saves_ = 0;          ///< guarded by save_mu_
+  mutable obs::Counter saves_;               ///< readable lock-free
 };
 
 }  // namespace mhla::xplore

@@ -7,10 +7,14 @@
 #include <stdexcept>
 #include <utility>
 
+#include <cstdio>
+
 #include "core/json_report.h"
 #include "core/parallel_for.h"
 #include "core/run_budget.h"
 #include "ir/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mhla::xplore {
 
@@ -223,6 +227,7 @@ ExploreResult Explorer::run(const ir::Program& program, ResultStore& cache) cons
     }
     ++result.rounds;
     const std::size_t prev_count = result.samples.size();
+    obs::Span wave_span("wave", "explore");
 
     // Serve what the cache already knows; collect the rest for evaluation.
     std::vector<ExploreSample> wave_samples(wave.size());
@@ -309,6 +314,16 @@ ExploreResult Explorer::run(const ir::Program& program, ResultStore& cache) cons
       }
     }
 
+    if (obs::Tracer::instance().enabled()) {
+      char args[160];
+      std::snprintf(args, sizeof args,
+                    "{\"cells\": %zu, \"cache_served\": %zu, \"evaluated\": %zu, "
+                    "\"frontier\": %zu}",
+                    wave.size(), wave.size() - pending.size(), pending.size(),
+                    result.frontier.size());
+      wave_span.set_args(args);
+    }
+
     // Stream the wave's running result (incremental frontier) before the
     // termination checks, so an observer sees the final wave too.
     if (config_.on_wave) config_.on_wave(result);
@@ -374,6 +389,14 @@ ExploreResult Explorer::run(const ir::Program& program, ResultStore& cache) cons
     wave.assign(next.begin(), next.end());
   }
 
+  // One registry flush per exploration (the wave loop only touched local
+  // counters, mirroring the searchers' accumulate-then-flush pattern).
+  obs::Registry& registry = obs::Registry::instance();
+  registry.counter("explore.runs").add();
+  registry.counter("explore.waves").add(result.rounds);
+  registry.counter("explore.cells_evaluated").add(result.evaluations);
+  registry.counter("explore.cells_cache_served").add(result.cache_hits);
+  registry.gauge("explore.frontier_size").set(static_cast<std::int64_t>(result.frontier.size()));
   return result;
 }
 

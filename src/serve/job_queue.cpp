@@ -1,5 +1,7 @@
 #include "serve/job_queue.h"
 
+#include "obs/trace.h"
+
 namespace mhla::serve {
 
 std::string to_string(JobState state) {
@@ -17,12 +19,14 @@ std::shared_ptr<Job> JobQueue::accept(JobSpec spec, std::shared_ptr<EventSink> s
   auto job = std::make_shared<Job>();
   job->spec = std::move(spec);
   job->sink = std::move(sink);
+  job->accepted_ns = obs::Tracer::instance().now_ns();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return nullptr;
     job->id = next_id_++;
     jobs_.emplace(job->id, job);
   }
+  accepted_.add();
   return job;
 }
 
@@ -34,6 +38,7 @@ bool JobQueue::enqueue(const std::shared_ptr<Job>& job) {
       return false;
     }
     queue_.push_back(job);
+    depth_.set(static_cast<std::int64_t>(queue_.size()));
   }
   cv_.notify_one();
   return true;
@@ -45,7 +50,9 @@ std::shared_ptr<Job> JobQueue::pop() {
   if (queue_.empty()) return nullptr;
   std::shared_ptr<Job> job = std::move(queue_.front());
   queue_.pop_front();
+  depth_.set(static_cast<std::int64_t>(queue_.size()));
   job->state.store(JobState::Running, std::memory_order_relaxed);
+  job->started_ns = obs::Tracer::instance().now_ns();
   return job;
 }
 
@@ -77,6 +84,7 @@ void JobQueue::close() {
       job->state.store(JobState::Cancelled, std::memory_order_relaxed);
     }
     queue_.clear();
+    depth_.set(0);
   }
   cv_.notify_all();
 }

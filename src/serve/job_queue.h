@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "serve/protocol.h"
 
 namespace mhla::serve {
@@ -59,6 +60,10 @@ struct Job {
   std::shared_ptr<std::atomic<bool>> cancel = std::make_shared<std::atomic<bool>>(false);
   std::atomic<JobState> state{JobState::Queued};
   std::shared_ptr<EventSink> sink;
+  /// Tracer timestamps of the lifecycle (accept / worker pickup), so the
+  /// server can emit queue-wait and run spans without re-reading clocks.
+  std::uint64_t accepted_ns = 0;
+  std::uint64_t started_ns = 0;
 };
 
 /// FIFO queue plus registry of every job the server has accepted.  All
@@ -101,8 +106,18 @@ class JobQueue {
   /// drain through their budgets).
   void cancel_all();
 
+  /// Jobs currently enqueued and not yet claimed by a worker.  Reads the
+  /// same gauge `enqueue`/`pop`/`close` maintain — the one depth cell the
+  /// `metrics` verb and any registry source report (no second hand count).
+  std::int64_t depth() const { return depth_.value(); }
+
+  /// Monotonic counters over the queue's whole life.
+  std::uint64_t accepted_total() const { return accepted_.value(); }
+
  private:
   mutable std::mutex mu_;
+  obs::Gauge depth_;       ///< queue_.size(), maintained at every transition
+  obs::Counter accepted_;  ///< jobs ever accepted
   std::condition_variable cv_;
   std::deque<std::shared_ptr<Job>> queue_;
   std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;

@@ -20,10 +20,11 @@ Command parse_command(const std::string& name) {
   if (name == "status") return Command::Status;
   if (name == "cancel") return Command::Cancel;
   if (name == "cache_stats") return Command::CacheStats;
+  if (name == "metrics") return Command::Metrics;
   if (name == "shutdown") return Command::Shutdown;
   throw std::invalid_argument(
       "unknown command \"" + name +
-      "\" (expected submit, explore, status, cancel, cache_stats or shutdown)");
+      "\" (expected submit, explore, status, cancel, cache_stats, metrics or shutdown)");
 }
 
 std::vector<xplore::i64> parse_i64_axis(const Json& value, const char* key) {
@@ -70,6 +71,7 @@ std::string to_string(Command command) {
     case Command::Status: return "status";
     case Command::Cancel: return "cancel";
     case Command::CacheStats: return "cache_stats";
+    case Command::Metrics: return "metrics";
     case Command::Shutdown: return "shutdown";
   }
   return "?";
@@ -114,6 +116,8 @@ Request parse_request(const std::string& line) {
       }
     } else if (key == "budget") {
       request.explore.budget = parse_size(value, "budget");
+    } else if (key == "stream") {
+      request.stream_stats = value.boolean();
     } else {
       throw std::invalid_argument("unknown request key \"" + key + "\"");
     }
@@ -132,6 +136,7 @@ Request parse_request(const std::string& line) {
       break;
     case Command::Status:
     case Command::CacheStats:
+    case Command::Metrics:
     case Command::Shutdown:
       break;
   }
@@ -176,6 +181,7 @@ std::string to_json(const Request& request) {
     out << ", \"seed_stride\": " << request.explore.seed_stride;
   }
   if (request.explore.budget != 0) out << ", \"budget\": " << request.explore.budget;
+  if (request.stream_stats) out << ", \"stream\": true";
   out << "}";
   return out.str();
 }
@@ -253,6 +259,31 @@ std::string event_cache_stats(const xplore::CacheStats& stats) {
       << ", \"saves\": " << stats.saves << "}";
   return out.str();
 }
+
+namespace {
+
+std::string metrics_payload(const char* event, const ServerMetricsView& view) {
+  std::ostringstream out;
+  out << "{\"event\": \"" << event << "\", \"jobs_accepted\": " << view.jobs_accepted
+      << ", \"jobs_done\": " << view.jobs_done << ", \"jobs_failed\": " << view.jobs_failed
+      << ", \"jobs_cancelled\": " << view.jobs_cancelled
+      << ", \"queue_depth\": " << view.queue_depth << ", \"connections\": " << view.connections
+      << ", \"bytes_sent\": " << view.bytes_sent << ", \"lines_sent\": " << view.lines_sent
+      << ", \"uptime_seconds\": " << json_number_exact(view.uptime_seconds)
+      << ", \"cache\": {\"entries\": " << view.cache.entries << ", \"hits\": " << view.cache.hits
+      << ", \"misses\": " << view.cache.misses << ", \"insertions\": " << view.cache.insertions
+      << ", \"rejected\": " << view.cache.rejected << ", \"evictions\": " << view.cache.evictions
+      << ", \"saves\": " << view.cache.saves << "}}";
+  return out.str();
+}
+
+}  // namespace
+
+std::string event_metrics(const ServerMetricsView& view) {
+  return metrics_payload("metrics", view);
+}
+
+std::string event_stats(const ServerMetricsView& view) { return metrics_payload("stats", view); }
 
 std::string event_cancelled(std::uint64_t job, bool found) {
   std::ostringstream out;

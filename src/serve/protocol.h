@@ -19,6 +19,7 @@ enum class Command {
   Status,      ///< report queued/running/finished jobs
   Cancel,      ///< raise a job's cancel flag
   CacheStats,  ///< report the process-wide result-cache counters
+  Metrics,     ///< snapshot the server's job/queue/cache/connection metrics
   Shutdown,    ///< drain and stop the server
 };
 
@@ -48,6 +49,9 @@ struct ExploreParams {
 ///              "strategies" (names), "explore_te", "seed_stride", "budget".
 ///   status   — optional "job" to narrow to one job.
 ///   cancel   — "job" (required).
+///   metrics  — optional "stream" (bool): subscribe this connection to the
+///              server's periodic `stats` events (requires the server to run
+///              with a stats interval; the immediate snapshot always comes).
 ///   cache_stats, shutdown — no operands.
 struct Request {
   Command command = Command::Status;
@@ -57,6 +61,7 @@ struct Request {
   ExploreParams explore;
   std::uint64_t job = 0;
   bool has_job = false;
+  bool stream_stats = false;
 };
 
 /// Parse one request line.  Throws std::invalid_argument on malformed JSON,
@@ -111,6 +116,29 @@ struct JobStatusView {
 std::string event_status(const std::vector<JobStatusView>& jobs);
 
 std::string event_cache_stats(const xplore::CacheStats& stats);
+
+/// Point-in-time server metrics, assembled by the server from the one set
+/// of live cells (queue gauge, session list, cache counters) that every
+/// other surface reads too.
+struct ServerMetricsView {
+  std::uint64_t jobs_accepted = 0;
+  std::uint64_t jobs_done = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::int64_t queue_depth = 0;
+  std::int64_t connections = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t lines_sent = 0;
+  double uptime_seconds = 0.0;
+  xplore::CacheStats cache;
+};
+
+/// Reply to the `metrics` verb ({"event":"metrics",...}).
+std::string event_metrics(const ServerMetricsView& view);
+
+/// Periodic broadcast variant ({"event":"stats",...}, same payload): one
+/// line per interval to every subscribed connection.
+std::string event_stats(const ServerMetricsView& view);
 
 std::string event_cancelled(std::uint64_t job, bool found);
 

@@ -6,9 +6,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include <cstdio>
+
 #include "core/pipeline.h"
 #include "explore/explorer.h"
 #include "ir/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/framing.h"
 #include "serve/protocol.h"
 
@@ -29,6 +33,11 @@ class Server::Session : public EventSink, public std::enable_shared_from_this<Se
 
   bool send(const std::string& line) override {
     std::lock_guard<std::mutex> lock(write_mu_);
+    // Count before the bytes hit the wire: a client that reacts to a line it
+    // just read must find that line already in the metrics.  (A failed write
+    // leaves a small overcount on a connection that is going away anyway.)
+    server_.bytes_sent_.add(line.size() + 1);  // +1: the newline framing
+    server_.lines_sent_.add();
     return write_line(socket_, line);
   }
 
@@ -40,8 +49,12 @@ class Server::Session : public EventSink, public std::enable_shared_from_this<Se
 
   bool finished() const { return finished_.load(std::memory_order_acquire); }
 
+  void subscribe_stats() { wants_stats_.store(true, std::memory_order_relaxed); }
+  bool wants_stats() const { return wants_stats_.load(std::memory_order_relaxed); }
+
  private:
   void loop() {
+    server_.connections_.add();
     LineReader reader(socket_);
     std::string line;
     try {
@@ -52,6 +65,7 @@ class Server::Session : public EventSink, public std::enable_shared_from_this<Se
     } catch (const std::exception& error) {
       send(event_error(error.what()));  // oversized line / hard socket error
     }
+    server_.connections_.sub();
     finished_.store(true, std::memory_order_release);
   }
 
@@ -60,6 +74,7 @@ class Server::Session : public EventSink, public std::enable_shared_from_this<Se
   std::mutex write_mu_;
   std::thread thread_;
   std::atomic<bool> finished_{false};
+  std::atomic<bool> wants_stats_{false};
 };
 
 Server::Server(ServerConfig config)
@@ -70,6 +85,25 @@ Server::Server(ServerConfig config)
     xplore::ResultCache::LoadReport report = cache_.load_file(config_.cache_path);
     if (!report.clean) std::cerr << "mhla_serve: " << report.message << "\n";
   }
+  start_ns_ = obs::Tracer::instance().now_ns();
+
+  // Expose this instance's live cells process-wide.  Sources (not direct
+  // registry counters) because tests run several servers per process; the
+  // snapshot then reads exactly the cells metrics_view() reads.
+  obs::Registry& registry = obs::Registry::instance();
+  cache_metrics_source_ = cache_.register_metrics(registry, "serve.cache");
+  metrics_source_ = registry.add_source([this](obs::MetricsSnapshot& out) {
+    ServerMetricsView view = metrics_view();
+    out.counters.emplace_back("serve.jobs_accepted", view.jobs_accepted);
+    out.counters.emplace_back("serve.jobs_done", view.jobs_done);
+    out.counters.emplace_back("serve.jobs_failed", view.jobs_failed);
+    out.counters.emplace_back("serve.jobs_cancelled", view.jobs_cancelled);
+    out.counters.emplace_back("serve.bytes_sent", view.bytes_sent);
+    out.counters.emplace_back("serve.lines_sent", view.lines_sent);
+    out.gauges.emplace_back("serve.queue_depth", view.queue_depth);
+    out.gauges.emplace_back("serve.connections", view.connections);
+  });
+
   accept_thread_ = std::thread([this] { accept_loop(); });
   unsigned workers = config_.workers ? config_.workers : 2;
   for (unsigned i = 0; i < workers; ++i) {
@@ -77,6 +111,9 @@ Server::Server(ServerConfig config)
   }
   if (!config_.cache_path.empty() && config_.persist_interval_seconds > 0.0) {
     persist_thread_ = std::thread([this] { persist_loop(); });
+  }
+  if (config_.stats_interval_seconds > 0.0) {
+    stats_thread_ = std::thread([this] { stats_loop(); });
   }
 }
 
@@ -134,8 +171,9 @@ void Server::stop() {
   }
   worker_threads_.clear();
 
-  // 4. Stop the persister and write the final save.
+  // 4. Stop the persister and the stats broadcaster, write the final save.
   if (persist_thread_.joinable()) persist_thread_.join();
+  if (stats_thread_.joinable()) stats_thread_.join();
   if (!config_.cache_path.empty()) {
     try {
       cache_.save_if_dirty(config_.cache_path);
@@ -143,6 +181,12 @@ void Server::stop() {
       std::cerr << "mhla_serve: final cache save failed: " << error.what() << "\n";
     }
   }
+
+  // 5. Unhook the registry sources — the snapshot callbacks capture `this`
+  // and the cache, both about to go away.
+  obs::Registry& registry = obs::Registry::instance();
+  registry.remove_source(metrics_source_);
+  registry.remove_source(cache_metrics_source_);
 }
 
 void Server::accept_loop() {
@@ -216,6 +260,12 @@ void Server::handle_request(const std::shared_ptr<Session>& session, const std::
     case Command::CacheStats:
       session->send(event_cache_stats(cache_.stats()));
       break;
+    case Command::Metrics:
+      // Subscribe before the snapshot goes out, so the first periodic
+      // `stats` line can never precede the `metrics` acknowledgement.
+      if (request.stream_stats) session->subscribe_stats();
+      session->send(event_metrics(metrics_view()));
+      break;
     case Command::Shutdown:
       session->send(event_shutdown());
       request_stop();
@@ -228,6 +278,19 @@ void Server::worker_loop() {
 }
 
 void Server::run_job(const std::shared_ptr<Job>& job) {
+  // Job lifecycle on the timeline: the queue wait (stamped by JobQueue at
+  // accept/pop) as one retroactive complete event, then the run itself as a
+  // live span on this worker thread.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  char args[48];
+  std::snprintf(args, sizeof args, "{\"job\": %llu}",
+                static_cast<unsigned long long>(job->id));
+  if (tracer.enabled() && job->started_ns >= job->accepted_ns) {
+    tracer.record_complete("queue_wait", "serve", job->accepted_ns, job->started_ns, args);
+  }
+  obs::Span span(job->spec.command == Command::Submit ? "job_submit" : "job_explore", "serve");
+  span.set_args(args);
+
   try {
     if (job->spec.command == Command::Submit) {
       run_submit(*job);
@@ -236,6 +299,7 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
     }
   } catch (const std::exception& error) {
     job->state.store(JobState::Failed, std::memory_order_relaxed);
+    jobs_failed_.add();  // before the event: see run_submit's ordering note
     job->sink->send(event_done_failed(job->id, error.what()));
   }
 }
@@ -252,6 +316,10 @@ void Server::run_submit(Job& job) {
   xplore::CacheEntry cached;
   if (cache_.lookup(key, cached)) {
     job.state.store(JobState::Done, std::memory_order_relaxed);
+    // Outcome counters bump *before* the terminal event goes out (here and
+    // in every terminal path): a client that reads `done` and immediately
+    // asks for `metrics` must find its job counted.
+    jobs_done_.add();
     double gap = cached.status == assign::SearchStatus::Optimal ? 0.0 : -1.0;
     job.sink->send(event_done_submit(job.id, "done", cached.status, gap, cached.cycles,
                                      cached.energy_nj, /*from_cache=*/true,
@@ -282,6 +350,7 @@ void Server::run_submit(Job& job) {
   const bool cancelled = job.cancel->load(std::memory_order_relaxed) &&
                          run.search.status == assign::SearchStatus::BudgetExhausted;
   job.state.store(cancelled ? JobState::Cancelled : JobState::Done, std::memory_order_relaxed);
+  (cancelled ? jobs_cancelled_ : jobs_done_).add();
   job.sink->send(event_done_submit(job.id, cancelled ? "cancelled" : "done", run.search.status,
                                    run.search.gap, point.total_cycles(), point.energy_nj,
                                    /*from_cache=*/false, /*evaluations=*/1));
@@ -310,7 +379,46 @@ void Server::run_explore(Job& job) {
   const bool cancelled =
       job.cancel->load(std::memory_order_relaxed) && result.budget_exhausted;
   job.state.store(cancelled ? JobState::Cancelled : JobState::Done, std::memory_order_relaxed);
+  (cancelled ? jobs_cancelled_ : jobs_done_).add();
   job.sink->send(event_done_explore(job.id, cancelled ? "cancelled" : "done", result));
+}
+
+ServerMetricsView Server::metrics_view() const {
+  ServerMetricsView view;
+  view.jobs_accepted = queue_.accepted_total();
+  view.jobs_done = jobs_done_.value();
+  view.jobs_failed = jobs_failed_.value();
+  view.jobs_cancelled = jobs_cancelled_.value();
+  view.queue_depth = queue_.depth();
+  view.connections = connections_.value();
+  view.bytes_sent = bytes_sent_.value();
+  view.lines_sent = lines_sent_.value();
+  view.uptime_seconds =
+      static_cast<double>(obs::Tracer::instance().now_ns() - start_ns_) * 1e-9;
+  view.cache = cache_.stats();
+  return view;
+}
+
+void Server::stats_loop() {
+  const auto interval = std::chrono::duration<double>(config_.stats_interval_seconds);
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_requested_) {
+    stop_cv_.wait_for(lock, interval, [&] { return stop_requested_; });
+    if (stop_requested_) return;
+    lock.unlock();
+    // One snapshot per tick, the same line to every subscriber — readers of
+    // several connections can correlate the streams.
+    std::string line = event_stats(metrics_view());
+    std::vector<std::shared_ptr<Session>> sessions;
+    {
+      std::lock_guard<std::mutex> sessions_lock(sessions_mu_);
+      sessions = sessions_;
+    }
+    for (const auto& session : sessions) {
+      if (session->wants_stats() && !session->finished()) session->send(line);
+    }
+    lock.lock();
+  }
 }
 
 void Server::persist_loop() {

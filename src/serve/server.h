@@ -34,6 +34,11 @@ struct ServerConfig {
 
   xplore::CacheBounds cache_bounds;
   std::size_t cache_shards = 0;  ///< 0 = ConcurrentResultCache default
+
+  /// Period of the `stats` event broadcast to connections that subscribed
+  /// via `{"cmd":"metrics","stream":true}`; <= 0 disables the broadcaster
+  /// thread (the one-shot `metrics` snapshot always works).
+  double stats_interval_seconds = 0.0;
 };
 
 /// The mhla_serve engine: a TCP server speaking the newline-delimited JSON
@@ -67,6 +72,11 @@ class Server {
   const ServerConfig& config() const { return config_; }
   xplore::ConcurrentResultCache& cache() { return cache_; }
 
+  /// The metrics the `metrics`/`stats` events report, read from the live
+  /// cells every other surface uses: the queue's gauge/counters, the cache's
+  /// lock-free counters, the session list, the framing counters.
+  ServerMetricsView metrics_view() const;
+
   /// Ask the server to stop (idempotent, callable from any thread,
   /// including session threads handling a `shutdown` request).
   void request_stop();
@@ -90,6 +100,7 @@ class Server {
   void accept_loop();
   void worker_loop();
   void persist_loop();
+  void stats_loop();
   void handle_request(const std::shared_ptr<Session>& session, const std::string& line);
   void run_job(const std::shared_ptr<Job>& job);
   void run_submit(Job& job);
@@ -99,6 +110,20 @@ class Server {
   xplore::ConcurrentResultCache cache_;
   Listener listener_;
   JobQueue queue_;
+
+  // Server-owned observation cells.  Members rather than registry lookups:
+  // tests run several servers per process, and each instance must count its
+  // own traffic.  A registry source (registered for this server's lifetime)
+  // exposes them process-wide under "serve.*".
+  obs::Gauge connections_;
+  obs::Counter bytes_sent_;
+  obs::Counter lines_sent_;
+  obs::Counter jobs_done_;
+  obs::Counter jobs_failed_;
+  obs::Counter jobs_cancelled_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t metrics_source_ = 0;
+  std::uint64_t cache_metrics_source_ = 0;
 
   std::mutex stop_mu_;
   std::condition_variable stop_cv_;
@@ -111,6 +136,7 @@ class Server {
   std::thread accept_thread_;
   std::vector<std::thread> worker_threads_;
   std::thread persist_thread_;
+  std::thread stats_thread_;
 };
 
 }  // namespace mhla::serve

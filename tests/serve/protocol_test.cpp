@@ -27,6 +27,7 @@ using core::Json;
 TEST(Protocol, ParsesMinimalRequestsForEveryCommand) {
   EXPECT_EQ(parse_request(R"({"cmd": "status"})").command, Command::Status);
   EXPECT_EQ(parse_request(R"({"cmd": "cache_stats"})").command, Command::CacheStats);
+  EXPECT_EQ(parse_request(R"({"cmd": "metrics"})").command, Command::Metrics);
   EXPECT_EQ(parse_request(R"({"cmd": "shutdown"})").command, Command::Shutdown);
 
   Request cancel = parse_request(R"({"cmd": "cancel", "job": 7})");
@@ -106,6 +107,54 @@ TEST(Protocol, RequestRoundTripsThroughItsWireLine) {
   EXPECT_EQ(parsed.config.platform.l2_bytes, request.config.platform.l2_bytes);
   EXPECT_EQ(parsed.config.search.budget.deadline_seconds, 1.5);
   EXPECT_EQ(parsed.explore, request.explore);
+}
+
+TEST(Protocol, MetricsRequestRoundTripsItsStreamFlag) {
+  Request plain = parse_request(R"({"cmd": "metrics"})");
+  EXPECT_EQ(plain.command, Command::Metrics);
+  EXPECT_FALSE(plain.stream_stats);
+
+  Request streamed = parse_request(R"({"cmd": "metrics", "stream": true})");
+  EXPECT_TRUE(streamed.stream_stats);
+
+  Request round = parse_request(to_json(streamed));
+  EXPECT_EQ(round.command, Command::Metrics);
+  EXPECT_TRUE(round.stream_stats);
+  EXPECT_EQ(to_json(plain).find("stream"), std::string::npos);
+}
+
+TEST(Protocol, MetricsEventCarriesEveryServerCounter) {
+  ServerMetricsView view;
+  view.jobs_accepted = 10;
+  view.jobs_done = 7;
+  view.jobs_failed = 1;
+  view.jobs_cancelled = 2;
+  view.queue_depth = 3;
+  view.connections = 4;
+  view.bytes_sent = 5000;
+  view.lines_sent = 60;
+  view.uptime_seconds = 1.5;
+  view.cache.entries = 8;
+  view.cache.hits = 9;
+
+  for (const std::string& line : {event_metrics(view), event_stats(view)}) {
+    SCOPED_TRACE(line);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    Json event = Json::parse(line);
+    EXPECT_EQ(event.at("jobs_accepted").integer(), 10);
+    EXPECT_EQ(event.at("jobs_done").integer(), 7);
+    EXPECT_EQ(event.at("jobs_failed").integer(), 1);
+    EXPECT_EQ(event.at("jobs_cancelled").integer(), 2);
+    EXPECT_EQ(event.at("queue_depth").integer(), 3);
+    EXPECT_EQ(event.at("connections").integer(), 4);
+    EXPECT_EQ(event.at("bytes_sent").integer(), 5000);
+    EXPECT_EQ(event.at("lines_sent").integer(), 60);
+    EXPECT_EQ(event.at("uptime_seconds").number(), 1.5);
+    EXPECT_EQ(event.at("cache").at("entries").integer(), 8);
+    EXPECT_EQ(event.at("cache").at("hits").integer(), 9);
+  }
+  EXPECT_EQ(Json::parse(event_metrics(view)).at("event").string(), "metrics");
+  EXPECT_EQ(Json::parse(event_stats(view)).at("event").string(), "stats");
 }
 
 // --- Event builders ----------------------------------------------------------

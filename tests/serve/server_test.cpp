@@ -13,6 +13,7 @@
 #include "apps/registry.h"
 #include "core/json.h"
 #include "helpers.h"
+#include "obs/metrics.h"
 #include "ir/serialize.h"
 #include "serve/framing.h"
 #include "serve/protocol.h"
@@ -237,6 +238,66 @@ TEST(Server, StatusAndCacheStatsReportJobsAndCounters) {
   EXPECT_EQ(counters.at("entries").integer(), 1);
   EXPECT_GE(counters.at("insertions").integer(), 1);
   EXPECT_GE(counters.at("shards").integer(), 1);
+}
+
+TEST(Server, MetricsVerbReportsJobQueueCacheAndConnectionCounters) {
+  Server server({});
+  TestClient client(server.port());
+
+  // Cold submit then warm re-submit: one evaluation, one cache hit.
+  Request request = submit_request(mhla::testing::tiny_stream_program());
+  client.send(request);
+  client.next_named("done");
+  client.send(request);
+  client.next_named("done");
+
+  Request metrics;
+  metrics.command = Command::Metrics;
+  client.send(metrics);
+  Json view = client.next_named("metrics");
+  EXPECT_EQ(view.at("jobs_accepted").integer(), 2);
+  EXPECT_EQ(view.at("jobs_done").integer(), 2);
+  EXPECT_EQ(view.at("jobs_failed").integer(), 0);
+  EXPECT_EQ(view.at("queue_depth").integer(), 0);
+  EXPECT_GE(view.at("connections").integer(), 1);
+  EXPECT_GT(view.at("bytes_sent").integer(), 0);
+  EXPECT_GE(view.at("lines_sent").integer(), 4);  // 2x accepted + 2x done so far
+  EXPECT_GT(view.at("uptime_seconds").number(), 0.0);
+  EXPECT_EQ(view.at("cache").at("entries").integer(), 1);
+  EXPECT_GE(view.at("cache").at("hits").integer(), 1);
+
+  // The same cells feed the process-wide registry through the server's
+  // sources — one source of truth, two doors.
+  EXPECT_EQ(server.metrics_view().jobs_done, 2u);
+  obs::MetricsSnapshot snap = obs::Registry::instance().snapshot();
+  auto counter = [&snap](const std::string& name) -> std::int64_t {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return static_cast<std::int64_t>(v);
+    }
+    return -1;
+  };
+  EXPECT_EQ(counter("serve.jobs_done"), 2);
+  EXPECT_EQ(counter("serve.jobs_accepted"), 2);
+  EXPECT_GE(counter("serve.cache.hits"), 1);
+}
+
+TEST(Server, StatsStreamBroadcastsToSubscribedConnections) {
+  ServerConfig config;
+  config.stats_interval_seconds = 0.05;
+  Server server(config);
+  TestClient client(server.port());
+
+  Request subscribe;
+  subscribe.command = Command::Metrics;
+  subscribe.stream_stats = true;
+  client.send(subscribe);
+  client.next_named("metrics");  // the immediate snapshot always comes first
+
+  // Periodic stats lines then arrive without any further request.
+  Json first = client.next_named("stats");
+  EXPECT_GE(first.at("uptime_seconds").number(), 0.0);
+  Json second = client.next_named("stats");
+  EXPECT_GE(second.at("uptime_seconds").number(), first.at("uptime_seconds").number());
 }
 
 TEST(Server, MalformedRequestsYieldErrorEventsAndKeepTheConnection) {
