@@ -8,7 +8,7 @@
 //              [--workers <n>] [--cache <file.json>]
 //              [--persist-interval <seconds>] [--cache-max-entries <n>]
 //              [--cache-evict-floor <n>] [--cache-shards <n>]
-//              [--stats-interval <seconds>]
+//              [--stats-interval <seconds>] [--job-retention <n>]
 //
 // Options:
 //   --host <ipv4>             bind address (default 127.0.0.1)
@@ -30,6 +30,9 @@
 //                             {"cmd":"metrics","stream":true}; 0 disables
 //                             the broadcaster (default 0; the one-shot
 //                             `metrics` verb always works)
+//   --job-retention <n>       finished jobs kept answering `status` queries
+//                             (FIFO over completion; default 1024).  Bounds
+//                             the job registry on a long-lived server
 //
 // Prints "mhla_serve listening on HOST:PORT" once accepting.  SIGINT/SIGTERM
 // (or a `shutdown` request) drain the server: running jobs are cancelled
@@ -62,7 +65,8 @@ int usage(const char* argv0) {
             << " [--host <ipv4>] [--port <n>] [--port-file <path>] [--workers <n>]\n"
                "       [--cache <file.json>] [--persist-interval <seconds>]\n"
                "       [--cache-max-entries <n>] [--cache-evict-floor <n>]\n"
-               "       [--cache-shards <n>] [--stats-interval <seconds>]\n\n"
+               "       [--cache-shards <n>] [--stats-interval <seconds>]\n"
+               "       [--job-retention <n>]\n\n"
                "exit codes: 0 clean shutdown, 2 usage, 3 validation, 5 I/O\n";
   return 2;
 }
@@ -125,6 +129,10 @@ int main(int argc, char** argv) {
         long long n = std::stoll(next());
         if (n < 0) throw std::invalid_argument("--cache-shards must be >= 0");
         config.cache_shards = static_cast<std::size_t>(n);
+      } else if (arg == "--job-retention") {
+        long long n = std::stoll(next());
+        if (n < 0) throw std::invalid_argument("--job-retention must be >= 0");
+        config.job_retention = static_cast<std::size_t>(n);
       } else if (arg == "--stats-interval") {
         config.stats_interval_seconds = std::stod(next());
         if (config.stats_interval_seconds < 0) {

@@ -1,18 +1,22 @@
 #include "assign/exhaustive.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include <cstddef>
 #include <cstdio>
 
 #include "assign/cost_engine.h"
 #include "assign/greedy.h"
 #include "core/parallel_for.h"
 #include "core/run_budget.h"
+#include "core/work_stealing.h"
 #include "obs/trace.h"
 
 namespace mhla::assign {
@@ -39,6 +43,11 @@ void for_each_feasible_home(const AssignContext& ctx, const ir::ArrayDecl& array
     fn(layer);
   }
 }
+
+/// The work-stealing copy phase offloads its Option-B branches only while
+/// at least this many candidates remain undecided: below it, replaying a
+/// task's prefix costs about as much as searching the subtree in place.
+constexpr std::size_t kMinCopySplit = 8;
 
 /// Reference enumeration: from-scratch estimate_cost per state, no pruning
 /// beyond per-placement capacity.  Kept as the oracle the engine path is
@@ -201,6 +210,31 @@ struct EngineSearch {
   /// regardless of which task lowered the bound first.
   core::AtomicMin* shared_incumbent = nullptr;
 
+  // ---- work-stealing mode (one search per pool worker) ----
+  /// On: this search is one worker of a work-stealing parallel run and
+  /// accumulates bests from subtree tasks visited in *arbitrary* order, so
+  /// canonical-first tie semantics cannot lean on visit order.  Instead the
+  /// search keys every leaf by its canonical path: local pruning turns
+  /// strict (a subtree that could still tie survives) and a tied leaf
+  /// replaces the incumbent iff its path is lexicographically smaller — see
+  /// `evaluate_leaf` and the reduction in `exhaustive_parallel_ws`.
+  bool ws_mode = false;
+  core::WorkStealingPool* pool = nullptr;
+  /// Offload hook: hand a canonical ordinal prefix to the pool as a new
+  /// task.  Set per worker by the parallel driver; consulted only when the
+  /// pool is starving.
+  std::function<void(std::vector<int>)> spawn_subtree;
+  /// Canonical DFS path of the current node, one ordinal per decision:
+  /// entry a < A is the position of array a's home in the canonical
+  /// feasible-home enumeration; entry A + j is candidate j's choice — 0 to
+  /// skip, k >= 1 for the k-th on-chip layer the candidate *individually*
+  /// fits.  The mapping is assignment-state-independent (cumulative
+  /// overflow never renumbers), so a prefix replays to the identical
+  /// subtree on any worker, and lexicographic order over full paths equals
+  /// canonical DFS order.  Maintained only in ws_mode.
+  std::vector<int> cur_path_;
+  std::vector<int> best_path_;  ///< path of `best` (all zeros = out-of-box)
+
   /// Running lower bound, split into an exact part (terms whose final value
   /// is already fixed) and an optimistic part (admissible minima for the
   /// still-open decisions).  Passed by value down the DFS so backtracking
@@ -231,6 +265,92 @@ struct EngineSearch {
   // -- per copy phase --
   std::vector<double> site_lb_e_;  ///< current per-site bound contribution
   std::vector<double> site_lb_c_;
+
+  // -- footprint-aware copy-phase bound (rebuilt at each copy-phase entry) --
+  /// The engine's static suffix tables min over every layer a candidate
+  /// *individually* fits — too optimistic once the homes-only footprint of
+  /// this copy-phase entry already denies some of those placements.  When
+  /// that happens the dynamic tables below rebuild the identical suffix
+  /// recurrence over only the placements with entry headroom
+  /// (usage(layer, nest) + bytes <= capacity).  Copy selection only ever
+  /// adds footprint, so entry-feasible is a superset of selectable anywhere
+  /// in the subtree: dropping the denied terms keeps the bound admissible
+  /// while a site whose every remaining placement is denied contributes its
+  /// exact serving term (suffix +inf) instead of an unreachable optimistic
+  /// one.  When nothing is denied, `dyn_active_` stays false and the bound
+  /// reads the static tables untouched.
+  bool dyn_active_ = false;
+  std::vector<double> dyn_suffix_e_;  ///< [site * (C + 1) + next_cc]
+  std::vector<double> dyn_suffix_c_;
+  std::vector<char> entry_fits_;      ///< scratch: [cc * background + layer]
+
+  double suffix_e(std::size_t site, std::size_t next_cc) const {
+    return dyn_active_ ? dyn_suffix_e_[site * (ctx.reuse.candidates().size() + 1) + next_cc]
+                       : engine.site_suffix_energy(site, next_cc);
+  }
+  double suffix_c(std::size_t site, std::size_t next_cc) const {
+    return dyn_active_ ? dyn_suffix_c_[site * (ctx.reuse.candidates().size() + 1) + next_cc]
+                       : engine.site_suffix_cycles(site, next_cc);
+  }
+
+  /// Recompute the entry-feasibility filter and, if it denies anything, the
+  /// dynamic suffix tables.  Called once per copy-phase entry, before any
+  /// copy is selected, so `engine.footprint()` holds exactly the homes-only
+  /// usage; a replayed task recomputes byte-identical tables because the
+  /// same homes produce the same footprint.
+  void prepare_copy_bound() {
+    dyn_active_ = false;
+    if (!options.use_footprint_bound) return;
+    const auto& candidates = ctx.reuse.candidates();
+    const std::size_t C = candidates.size();
+    const int background = ctx.hierarchy.background();
+    entry_fits_.assign(C * static_cast<std::size_t>(background), 0);
+    bool denied = false;
+    for (std::size_t c = 0; c < C; ++c) {
+      const analysis::CopyCandidate& cc = candidates[c];
+      for (int layer = 0; layer < background; ++layer) {
+        const mem::MemLayer& target = ctx.hierarchy.layer(layer);
+        if (!target.unbounded() && cc.bytes > target.capacity_bytes) continue;
+        bool fits_here = target.unbounded() ||
+                         engine.footprint().usage(layer, cc.nest) + cc.bytes <=
+                             target.capacity_bytes;
+        if (fits_here) {
+          entry_fits_[c * static_cast<std::size_t>(background) +
+                      static_cast<std::size_t>(layer)] = 1;
+        } else {
+          denied = true;
+        }
+      }
+    }
+    if (!denied) return;  // static tables already exact for this entry
+    dyn_active_ = true;
+    const double inf = std::numeric_limits<double>::infinity();
+    const std::size_t S = engine.num_sites();
+    dyn_suffix_e_.assign(S * (C + 1), inf);
+    dyn_suffix_c_.assign(S * (C + 1), inf);
+    // Same recurrence as the engine's static precompute, filtered: column C
+    // is "no candidate left"; walking ids downward folds in the cheapest
+    // *entry-feasible* term candidate c could still give each member site.
+    for (std::size_t c = C; c-- > 0;) {
+      for (std::size_t s = 0; s < S; ++s) {
+        dyn_suffix_e_[s * (C + 1) + c] = dyn_suffix_e_[s * (C + 1) + c + 1];
+        dyn_suffix_c_[s * (C + 1) + c] = dyn_suffix_c_[s * (C + 1) + c + 1];
+      }
+      for (int layer = 0; layer < background; ++layer) {
+        if (!entry_fits_[c * static_cast<std::size_t>(background) +
+                         static_cast<std::size_t>(layer)]) {
+          continue;
+        }
+        for (int site : engine.candidate_sites(static_cast<int>(c))) {
+          std::size_t s = static_cast<std::size_t>(site);
+          dyn_suffix_e_[s * (C + 1) + c] =
+              std::min(dyn_suffix_e_[s * (C + 1) + c], engine.site_energy_term(s, layer));
+          dyn_suffix_c_[s * (C + 1) + c] =
+              std::min(dyn_suffix_c_[s * (C + 1) + c], engine.site_cycle_term(s, layer));
+        }
+      }
+    }
+  }
 
   /// Backtracking journal for the per-site bound contributions; tighten
   /// pushes the displaced values, restore pops to a mark.  One flat stack
@@ -313,16 +433,18 @@ struct EngineSearch {
   /// Admissible scalar lower bound for every completion of the current node.
   /// The tiny relative margin absorbs floating-point drift in the running
   /// sums so pruning never discards a state that could strictly improve.
-  /// Against the local incumbent the cut is `>=` (serial tie semantics: the
-  /// first state found in DFS order keeps a tied scalar); against the shared
-  /// incumbent of a parallel search it is strictly `>`, so a subtree that
-  /// could still *tie* — and therefore precede the incumbent in canonical
-  /// order — is never discarded.
+  /// Against the local incumbent the cut is `>=` in serial mode (first
+  /// state found in DFS order keeps a tied scalar, so a later tie is
+  /// useless) but strictly `>` in ws_mode: the worker's best may come from
+  /// a canonically *later* task, so a subtree that could still tie may hold
+  /// the canonical-first optimum and must survive for the path tie-break.
+  /// Against the shared incumbent of a parallel search the cut is always
+  /// strict for the same reason.
   bool prune(const Bound& bound) {
     double lb = objective.scalar_terms(bound.exact_e + bound.opt_e, bound.exact_c + bound.opt_c);
     double discounted = lb * (1.0 - 1e-9);
-    if (discounted >= best_scalar ||
-        (shared_incumbent && discounted > shared_incumbent->load())) {
+    bool local_cut = ws_mode ? discounted > best_scalar : discounted >= best_scalar;
+    if (local_cut || (shared_incumbent && discounted > shared_incumbent->load())) {
       ++bound_prunes;
       return true;
     }
@@ -349,9 +471,15 @@ struct EngineSearch {
     if (!feasible) return;
     if (!engine.layering_valid()) return;
     double scalar = engine.scalar(objective);
-    if (scalar < best_scalar) {
+    // Serial tie semantics fall out of visit order (first tie wins, later
+    // ties are not improvements).  In ws_mode ties are decided by canonical
+    // path instead, because this worker visits subtrees in steal order.
+    bool improved = scalar < best_scalar ||
+                    (ws_mode && scalar == best_scalar && cur_path_ < best_path_);
+    if (improved) {
       best_scalar = scalar;
       best = engine.assignment();
+      if (ws_mode) best_path_ = cur_path_;
       if (shared_incumbent) shared_incumbent->update(scalar);
       // Incumbent timeline: rare (once per improvement), observation-only,
       // and gated on one relaxed load, so the search path never changes.
@@ -370,13 +498,17 @@ struct EngineSearch {
   /// candidates > j).  Once a site's last covering candidate is decided the
   /// suffix is +inf and the contribution becomes the exact serving term.
   /// Displaced values go on `saved_sites_`; the caller restores to its mark.
-  /// Only sites whose suffix minimum actually moves are touched.
+  /// Only sites whose *static* suffix minimum moves are touched — with the
+  /// dynamic (footprint-filtered) tables active a site may keep a stale,
+  /// smaller contribution past the step where only its dynamic suffix rose;
+  /// that is merely a weaker admissible bound, and spawn/replay tighten at
+  /// identical steps either way.
   void tighten_sites(std::size_t j, Bound& bound) {
     for (int site : tighten_at_[j]) {
       std::size_t s = static_cast<std::size_t>(site);
       int layer = engine.serving_layer(s);
-      double e = std::min(engine.site_energy_term(s, layer), engine.site_suffix_energy(s, j + 1));
-      double c = std::min(engine.site_cycle_term(s, layer), engine.site_suffix_cycles(s, j + 1));
+      double e = std::min(engine.site_energy_term(s, layer), suffix_e(s, j + 1));
+      double c = std::min(engine.site_cycle_term(s, layer), suffix_c(s, j + 1));
       saved_sites_.push_back({site, site_lb_e_[s], site_lb_c_[s]});
       bound.opt_e += e - site_lb_e_[s];
       bound.opt_c += c - site_lb_c_[s];
@@ -404,8 +536,44 @@ struct EngineSearch {
       evaluate_leaf();
       return;
     }
+    const std::size_t A = ctx.program.arrays().size();
+    // Work-stealing split: when peers are starving and enough candidates
+    // remain for the subtree to outweigh a prefix replay, hand every
+    // Option-B branch to the pool and keep only the skip branch locally.
+    // The spawn-time guards mirror the local branch guards exactly —
+    // individual fit assigns the ordinal, cumulative overflow prunes — so a
+    // spawned ordinal always replays to a branch this DFS would have
+    // entered, with the identical capacity_prunes count.
+    if (ws_mode && spawn_subtree && candidates.size() - j >= kMinCopySplit &&
+        pool->starving()) {
+      const analysis::CopyCandidate& split_cc = candidates[j];
+      int ordinal = 0;
+      for (int layer = 0; layer < ctx.hierarchy.background(); ++layer) {
+        const mem::MemLayer& target = ctx.hierarchy.layer(layer);
+        if (!target.unbounded() && split_cc.bytes > target.capacity_bytes) continue;
+        ++ordinal;
+        if (!target.unbounded() &&
+            engine.footprint().usage(layer, split_cc.nest) + split_cc.bytes >
+                target.capacity_bytes) {
+          ++capacity_prunes;
+          continue;
+        }
+        std::vector<int> prefix(cur_path_.begin(),
+                                cur_path_.begin() + static_cast<std::ptrdiff_t>(A + j));
+        prefix.push_back(ordinal);
+        spawn_subtree(std::move(prefix));
+      }
+      cur_path_[A + j] = 0;
+      Bound child = bound;
+      std::size_t mark = saved_sites_.size();
+      tighten_sites(j, child);
+      recurse_copies(j + 1, child);
+      restore_sites(mark);
+      return;
+    }
     // Option A: skip this candidate.
     {
+      if (ws_mode) cur_path_[A + j] = 0;
       Bound child = bound;
       std::size_t mark = saved_sites_.size();
       if (bnb) tighten_sites(j, child);
@@ -416,9 +584,11 @@ struct EngineSearch {
     // cumulative (lifetime-aware) footprint of its nest either prunes the
     // branch (bnb) or marks it infeasible while mirroring the reference DFS.
     const analysis::CopyCandidate& cc = candidates[j];
+    int ordinal = 0;
     for (int layer = 0; layer < ctx.hierarchy.background(); ++layer) {
       const mem::MemLayer& target = ctx.hierarchy.layer(layer);
       if (!target.unbounded() && cc.bytes > target.capacity_bytes) continue;
+      ++ordinal;
       // The engine's tracker carries the cumulative (layer, nest) footprint
       // of the whole path — array homes plus the copies selected so far —
       // so one cell read decides whether this placement can still fit.
@@ -433,6 +603,7 @@ struct EngineSearch {
         ++capacity_prunes;
         continue;
       }
+      if (ws_mode) cur_path_[A + j] = ordinal;
       CostEngine::Checkpoint cp = engine.checkpoint();
       engine.select_copy(cc.id, layer);
       Bound child = bound;
@@ -450,10 +621,59 @@ struct EngineSearch {
     }
   }
 
-  void enter_copy_phase() {
-    // Array homes are fixed from here on: the pinned traffic and the
-    // array-only footprint are exact.  No copies are selected yet, so the
-    // engine's tracker holds exactly the homes-only footprint.
+  /// Map a home ordinal back to the layer at that position of the canonical
+  /// feasible-home enumeration for array `a` — the inverse of the numbering
+  /// in `recurse_arrays`.
+  int home_ordinal_layer(std::size_t a, int ordinal) const {
+    int found = -1;
+    int seen = 0;
+    for_each_feasible_home(ctx, ctx.program.arrays()[a], options.allow_array_migration,
+                           [&](int layer) {
+                             if (seen++ == ordinal) found = layer;
+                           });
+    if (found < 0) throw std::logic_error("exhaustive: home ordinal out of range");
+    return found;
+  }
+
+  /// Map a copy ordinal k >= 1 back to the k-th on-chip layer candidate `j`
+  /// individually fits — the inverse of the numbering in `recurse_copies`.
+  int copy_ordinal_layer(std::size_t j, int ordinal) const {
+    const analysis::CopyCandidate& cc = ctx.reuse.candidates()[j];
+    int seen = 0;
+    for (int layer = 0; layer < ctx.hierarchy.background(); ++layer) {
+      const mem::MemLayer& target = ctx.hierarchy.layer(layer);
+      if (!target.unbounded() && cc.bytes > target.capacity_bytes) continue;
+      if (++seen == ordinal) return layer;
+    }
+    throw std::logic_error("exhaustive: copy ordinal out of range");
+  }
+
+  /// Replay one copy decision of a stolen task's prefix onto the engine and
+  /// the bound (ws_mode only, so bnb is on).  No prune or feasibility
+  /// re-checks: the spawning worker ran them on the identical deterministic
+  /// state before offloading, so re-running could only agree.
+  void apply_copy_ordinal(std::size_t j, int ordinal, Bound& bound) {
+    cur_path_[ctx.program.arrays().size() + j] = ordinal;
+    if (ordinal > 0) {
+      int layer = copy_ordinal_layer(j, ordinal);
+      engine.select_copy(ctx.reuse.candidates()[j].id, layer);
+      bound.opt_e += cc_lb_e_[j * static_cast<std::size_t>(ctx.hierarchy.num_layers()) +
+                              static_cast<std::size_t>(layer)];
+      bound.opt_c += cc_lb_c_[j * static_cast<std::size_t>(ctx.hierarchy.num_layers()) +
+                              static_cast<std::size_t>(layer)];
+    }
+    tighten_sites(j, bound);
+  }
+
+  /// Copy-phase entry, optionally replaying the copy-ordinal prefix of a
+  /// stolen task before recursing at candidate `j0`.  Array homes are fixed
+  /// from here on: the pinned traffic and the array-only footprint are
+  /// exact, and no copies are selected yet, so the engine's tracker holds
+  /// exactly the homes-only footprint the footprint-aware bound filters
+  /// against.  The bound is rebuilt from scratch — the same homes always
+  /// produce the same numbers, so a replayed subtree prunes identically to
+  /// the subtree the spawning worker would have descended.
+  void enter_copy_phase_at(std::size_t j0, const int* ordinals) {
     bool base_feasible = options.use_footprint_tracker
                              ? engine.fits()
                              : compute_footprints(ctx, engine.assignment()).feasible;
@@ -461,6 +681,7 @@ struct EngineSearch {
 
     Bound bound;
     if (bnb) {
+      prepare_copy_bound();
       auto [pin_e, pin_c] = engine.pinned_totals();
       bound.exact_e = pin_e;
       bound.exact_c = engine.compute_cycles() + pin_c;
@@ -472,14 +693,17 @@ struct EngineSearch {
         // No copies are selected yet, so serving_layer == the array's home;
         // suffix 0 is the minimum over every covering candidate.
         int home = engine.serving_layer(s);
-        site_lb_e_[s] = std::min(engine.site_energy_term(s, home), engine.site_suffix_energy(s, 0));
-        site_lb_c_[s] = std::min(engine.site_cycle_term(s, home), engine.site_suffix_cycles(s, 0));
+        site_lb_e_[s] = std::min(engine.site_energy_term(s, home), suffix_e(s, 0));
+        site_lb_c_[s] = std::min(engine.site_cycle_term(s, home), suffix_c(s, 0));
         bound.opt_e += site_lb_e_[s];
         bound.opt_c += site_lb_c_[s];
       }
     }
-    recurse_copies(0, bound);
+    for (std::size_t j = 0; j < j0; ++j) apply_copy_ordinal(j, ordinals[j], bound);
+    recurse_copies(j0, bound);
   }
+
+  void enter_copy_phase() { enter_copy_phase_at(0, nullptr); }
 
   /// Fold array `a`'s home decision into the array-phase bound: its pinned
   /// traffic becomes exact and its sites' contributions move from the
@@ -510,7 +734,34 @@ struct EngineSearch {
       return;
     }
     const ir::ArrayDecl& array = arrays[index];
+    // Work-stealing split: offload every sibling home but the canonical
+    // first and descend only that one.  The array phase is shallow and
+    // every subtree under it is large, so it splits whenever peers starve.
+    if (ws_mode && spawn_subtree && pool->starving()) {
+      int count = 0;
+      for_each_feasible_home(ctx, array, options.allow_array_migration, [&](int) { ++count; });
+      for (int ordinal = 1; ordinal < count; ++ordinal) {
+        std::vector<int> prefix(cur_path_.begin(),
+                                cur_path_.begin() + static_cast<std::ptrdiff_t>(index));
+        prefix.push_back(ordinal);
+        spawn_subtree(std::move(prefix));
+      }
+      if (count > 0) {
+        int first = home_ordinal_layer(index, 0);
+        cur_path_[index] = 0;
+        CostEngine::Checkpoint cp = engine.checkpoint();
+        engine.set_home(array.name, first);
+        Bound child = bound;
+        apply_home_to_bound(index, first, child);
+        recurse_arrays(index + 1, child);
+        engine.undo_to(cp);
+      }
+      return;
+    }
+    int ordinal = 0;
     for_each_feasible_home(ctx, array, options.allow_array_migration, [&](int layer) {
+      if (ws_mode) cur_path_[index] = ordinal;
+      ++ordinal;
       CostEngine::Checkpoint cp = engine.checkpoint();
       engine.set_home(array.name, layer);
       Bound child = bound;
@@ -537,8 +788,9 @@ struct EngineSearch {
   }
 
   /// Run the search from array index `start` on; homes of arrays before
-  /// `start` must already be set on the engine (the parallel tasks replay
-  /// their root-frontier prefix that way, the serial search starts at 0).
+  /// `start` must already be set on the engine (the static-split parallel
+  /// tasks replay their root-frontier prefix that way, the serial search
+  /// starts at 0).
   void run(std::size_t start) {
     Bound bound;
     if (bnb) {
@@ -553,6 +805,47 @@ struct EngineSearch {
       }
     }
     recurse_arrays(start, bound);
+  }
+
+  /// Execute one work-stealing task: replay the canonical ordinal prefix
+  /// onto this worker's engine, search the subtree under it, and unwind so
+  /// the next task this worker claims starts from a pristine out-of-box
+  /// engine.  A prefix inside the array phase rebuilds the root bound
+  /// exactly as `run(0)` does; a prefix reaching the copy phase lets
+  /// `enter_copy_phase_at` rebuild its own bound — either way replay needs
+  /// nothing from the spawning worker beyond the ordinals.
+  ///
+  /// `states` and `budget_hit` accumulate across every task this worker
+  /// runs, so `max_states` bounds each *worker*, not each task; once hit,
+  /// later tasks return immediately and the run reports as truncated.
+  void run_task(const std::vector<int>& prefix) {
+    if (budget_hit) return;
+    const auto& arrays = ctx.program.arrays();
+    const std::size_t A = arrays.size();
+    std::size_t homes = std::min(prefix.size(), A);
+    for (std::size_t a = 0; a < homes; ++a) {
+      cur_path_[a] = prefix[a];
+      engine.set_home(arrays[a].name, home_ordinal_layer(a, prefix[a]));
+    }
+    if (prefix.size() < A) {
+      Bound bound;
+      bound.exact_c = engine.compute_cycles();
+      const std::size_t S = engine.num_sites();
+      for (std::size_t s = 0; s < S; ++s) {
+        bound.opt_e += site_open_e_[s];
+        bound.opt_c += site_open_c_[s];
+      }
+      for (std::size_t a = 0; a < homes; ++a) {
+        apply_home_to_bound(a, engine.home_of(a), bound);
+      }
+      recurse_arrays(prefix.size(), bound);
+    } else {
+      enter_copy_phase_at(prefix.size() - A, prefix.data() + A);
+    }
+    // Blanket unwind: drop the replay's journal entries and rewind the
+    // engine to out-of-box for the next task.
+    restore_sites(0);
+    engine.undo_to(0);
   }
 };
 
@@ -630,8 +923,12 @@ std::vector<std::vector<int>> split_root_frontier(const AssignContext& ctx,
   return frontier;
 }
 
-ExhaustiveResult exhaustive_parallel(const AssignContext& ctx, const ExhaustiveOptions& options,
-                                     core::RunBudget* run_budget) {
+/// The original static split, kept behind `work_stealing = false` as the
+/// comparison baseline: the root frontier is carved into a fixed task list
+/// up front, so uneven subtrees idle workers that finished early.
+ExhaustiveResult exhaustive_parallel_static(const AssignContext& ctx,
+                                            const ExhaustiveOptions& options,
+                                            core::RunBudget* run_budget) {
   // One prototype carries the engine precompute and the bound tables; every
   // task copies it instead of rebuilding them.  Its out-of-box incumbent is
   // also the serial search's starting incumbent.
@@ -714,6 +1011,96 @@ ExhaustiveResult exhaustive_parallel(const AssignContext& ctx, const ExhaustiveO
   finalize_anytime(result, ctx, budget_hit, /*have_bound=*/true, root_lb,
                    fallback ? &*fallback : nullptr);
   return result;
+}
+
+/// Work-stealing parallel search: one `EngineSearch` per pool worker
+/// (lazily copied from the shared prototype), subtree tasks that split
+/// themselves on demand — root homes first, then down into the copy phase —
+/// whenever peers starve, a shared strictly-pruning incumbent, and a
+/// (scalar, canonical-path) reduction over the per-worker bests that
+/// returns exactly the serial `"bnb"` optimum for any thread count and any
+/// steal interleaving (see the ws_mode notes on `EngineSearch`).
+ExhaustiveResult exhaustive_parallel_ws(const AssignContext& ctx, const ExhaustiveOptions& options,
+                                        core::RunBudget* run_budget) {
+  EngineSearch prototype(ctx, options);
+  prototype.run_budget = run_budget;
+  double root_lb = prototype.root_scalar_bound();
+
+  ExhaustiveResult result;
+  result.assignment = prototype.best;
+  result.scalar = prototype.best_scalar;
+
+  // Both seeds are costs of feasible assignments, so strict pruning above
+  // them never cuts an optimal state; the returned assignment always comes
+  // from the enumeration (greedy substitutes only on a truncated run).
+  core::AtomicMin incumbent(prototype.best_scalar);
+  std::optional<GreedyResult> fallback;
+  if (options.seed_incumbent) {
+    fallback = greedy_incumbent_seed(ctx, options, run_budget);
+    incumbent.update(fallback->final_scalar);
+  }
+
+  unsigned threads = options.num_threads ? options.num_threads : core::default_parallelism();
+  core::WorkStealingPool pool(threads);
+
+  const std::size_t path_len = ctx.program.arrays().size() + ctx.reuse.candidates().size();
+  prototype.ws_mode = true;
+  prototype.pool = &pool;
+  prototype.shared_incumbent = &incumbent;
+  prototype.cur_path_.assign(path_len, 0);
+  prototype.best_path_.assign(path_len, 0);  // the out-of-box incumbent is the all-zero leaf
+
+  // One search per worker, created on its first task so idle workers never
+  // pay the engine copy; the search (and its engine) is reused for every
+  // task that worker claims.
+  std::vector<std::unique_ptr<EngineSearch>> workers(pool.num_workers());
+  std::function<void(unsigned, const std::vector<int>&)> run_subtree =
+      [&](unsigned w, const std::vector<int>& prefix) {
+        obs::Span span("bnb_task", "search");
+        if (!workers[w]) {
+          workers[w] = std::make_unique<EngineSearch>(prototype);
+          workers[w]->spawn_subtree = [&pool, &run_subtree, w](std::vector<int> child) {
+            pool.spawn(w, [&run_subtree, child = std::move(child)](unsigned worker) {
+              run_subtree(worker, child);
+            });
+          };
+        }
+        workers[w]->run_task(prefix);
+      };
+  pool.spawn(0, [&run_subtree](unsigned w) { run_subtree(w, std::vector<int>{}); });
+  std::size_t skipped = pool.run(run_budget);
+
+  // (scalar, canonical path) reduction over the per-worker searches: the
+  // smallest scalar wins and path order breaks ties exactly as serial DFS
+  // visit order would.  A null winner path stands for the all-zero
+  // out-of-box path, which no other path can precede.  Tasks the expired
+  // budget made the pool discard mark the run truncated.
+  bool budget_hit = skipped > 0;
+  const std::vector<int>* best_path = nullptr;
+  for (const std::unique_ptr<EngineSearch>& worker : workers) {
+    if (!worker) continue;
+    result.states_explored += worker->states;
+    result.bound_prunes += worker->bound_prunes;
+    result.capacity_prunes += worker->capacity_prunes;
+    budget_hit = budget_hit || worker->budget_hit;
+    bool wins = worker->best_scalar < result.scalar ||
+                (worker->best_scalar == result.scalar && best_path &&
+                 worker->best_path_ < *best_path);
+    if (wins) {
+      result.scalar = worker->best_scalar;
+      result.assignment = worker->best;
+      best_path = &worker->best_path_;
+    }
+  }
+  finalize_anytime(result, ctx, budget_hit, /*have_bound=*/true, root_lb,
+                   fallback ? &*fallback : nullptr);
+  return result;
+}
+
+ExhaustiveResult exhaustive_parallel(const AssignContext& ctx, const ExhaustiveOptions& options,
+                                     core::RunBudget* run_budget) {
+  return options.work_stealing ? exhaustive_parallel_ws(ctx, options, run_budget)
+                               : exhaustive_parallel_static(ctx, options, run_budget);
 }
 
 }  // namespace

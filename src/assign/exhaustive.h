@@ -37,13 +37,31 @@ struct ExhaustiveOptions {
   /// tracker's usage cells — it is integer-exact by construction.)
   bool use_footprint_tracker = true;
 
+  /// Engine branch-and-bound only: at each copy-phase entry, filter the
+  /// suffix-minimum bound tables by the homes-only footprint headroom of
+  /// the `FootprintTracker` — a placement whose (layer, nest) usage already
+  /// overflows at entry can never be selected below that node, so its term
+  /// is dropped and a site with no surviving placement contributes its
+  /// exact serving term instead of an optimistic minimum.  Strictly
+  /// tightens pruning for both serial and parallel search; any admissible
+  /// bound returns the same optimum, so results are bit-identical with the
+  /// toggle on or off (only the state/prune counters move).
+  bool use_footprint_bound = true;
+
   /// `exhaustive_parallel_assign` knobs; `seed_incumbent` also applies to
   /// the serial engine path when branch-and-bound is on.  The greedy seed
   /// only ever prunes (strictly, so tied states still enumerate) — the
   /// returned optimum is bit-identical with or without it.
   unsigned num_threads = 0;    ///< worker threads (0 = hardware concurrency)
-  int tasks_per_thread = 4;    ///< target root-frontier tasks per worker
+  int tasks_per_thread = 4;    ///< static split only: target root tasks per worker
   bool seed_incumbent = true;  ///< seed the incumbent bound with the greedy scalar
+
+  /// Parallel path only: schedule subtree tasks on `core::WorkStealingPool`
+  /// deques, splitting on demand whenever a worker starves (default),
+  /// instead of the fixed breadth-first root-frontier split.  Both
+  /// schedulers return the bit-identical serial optimum; the static split
+  /// is kept as the scaling-comparison baseline.
+  bool work_stealing = true;
 
   /// Cooperative run budget: one probe per evaluated state (plus one per
   /// array-phase node, so prune-heavy searches still observe a deadline
@@ -93,21 +111,28 @@ struct ExhaustiveResult {
 /// budget bounds it better).
 ExhaustiveResult exhaustive_assign(const AssignContext& ctx, const ExhaustiveOptions& options = {});
 
-/// Parallel branch-and-bound (registry strategy "bnb-par"): the array-home
-/// root frontier is expanded breadth-first into ~`num_threads x
-/// tasks_per_thread` subtree tasks, each running the engine-backed
-/// branch-and-bound DFS on its own engine while every task prunes against a
-/// shared atomic incumbent bound (optionally seeded with the greedy scalar).
+/// Parallel branch-and-bound (registry strategy "bnb-par").  By default
+/// (`work_stealing`) subtree tasks live on per-worker work-stealing deques:
+/// one seed task descends from the root and every task offloads sibling
+/// branches — array homes first, then down into the copy phase — the moment
+/// the pool starves, so uneven subtrees rebalance onto idle workers instead
+/// of idling them.  Tasks are canonical ordinal prefixes, replayed onto a
+/// per-worker engine; every worker prunes against a shared atomic incumbent
+/// bound (optionally seeded with the greedy scalar).  With `work_stealing`
+/// off, the original fixed breadth-first root-frontier split
+/// (~`num_threads x tasks_per_thread` tasks) runs instead.
 ///
 /// The result — best assignment and scalar — is **bit-identical to serial
-/// branch-and-bound for any thread count**: the shared incumbent only ever
-/// holds scalars of feasible assignments, and cross-task pruning is strict
-/// (a subtree is cut only when it provably cannot *equal* the incumbent),
-/// so the canonical-DFS-order optimum always survives in its own task and
-/// the canonical-order reduction returns it.  The state/prune counters, by
-/// contrast, depend on incumbent-propagation timing and are not
-/// reproducible run to run; `max_states` bounds each task separately, and
-/// the determinism guarantee requires the budget not to bind.  Engine and
+/// branch-and-bound for any thread count and any steal interleaving**: the
+/// shared incumbent only ever holds scalars of feasible assignments,
+/// cross-task pruning is strict (a subtree is cut only when it provably
+/// cannot *equal* the incumbent), and under work stealing every leaf is
+/// keyed by its canonical DFS path, with local pruning strict too and ties
+/// resolved to the lexicographically-first path — exactly the leaf serial
+/// DFS reaches first.  The state/prune counters, by contrast, depend on
+/// incumbent-propagation timing and are not reproducible run to run;
+/// `max_states` bounds each worker (each static-split task), and the
+/// determinism guarantee requires the budget not to bind.  Engine and
 /// branch-and-bound are always on; the instance guard is
 /// `kEnginePlacementGuard`, as for the serial engine path.
 ExhaustiveResult exhaustive_parallel_assign(const AssignContext& ctx,

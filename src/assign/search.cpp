@@ -86,9 +86,11 @@ ExhaustiveOptions to_exhaustive_options(const SearchOptions& options) {
   exhaustive.use_cost_engine = options.use_cost_engine;
   exhaustive.use_branch_and_bound = options.use_branch_and_bound;
   exhaustive.use_footprint_tracker = options.use_footprint_tracker;
+  exhaustive.use_footprint_bound = options.use_footprint_bound;
   exhaustive.num_threads = options.bnb_threads;
   exhaustive.tasks_per_thread = options.bnb_tasks_per_thread;
   exhaustive.seed_incumbent = options.bnb_seed_incumbent;
+  exhaustive.work_stealing = options.bnb_work_stealing;
   exhaustive.budget = options.budget;
   exhaustive.shared_budget = options.shared_budget;
   return exhaustive;
@@ -229,7 +231,7 @@ std::map<std::string, std::unique_ptr<Searcher>>& registry() {
         ExhaustiveSearcher::Mode::BnB));
     add(std::make_unique<ExhaustiveSearcher>(
         "bnb-par",
-        "parallel branch-and-bound (root-frontier tasks, shared incumbent; bit-identical to bnb)",
+        "parallel branch-and-bound (work-stealing subtree tasks, shared incumbent; bit-identical to bnb)",
         ExhaustiveSearcher::Mode::Parallel));
     add(std::make_unique<ExhaustiveSearcher>(
         "exhaustive", "exhaustive enumeration honoring the engine/bound toggles",

@@ -66,13 +66,23 @@ struct SearchOptions {
   /// the reference path for the equivalence tests.
   bool use_footprint_tracker = true;
 
-  /// "bnb-par" knobs: parallel branch-and-bound over root-frontier subtree
-  /// tasks sharing one atomic incumbent bound.  The result is bit-identical
-  /// to serial "bnb" for any thread count (the incumbent only prunes); the
-  /// knobs trade setup overhead against load balance and bound strength.
+  /// Filter the branch-and-bound copy-phase bound tables by the tracker's
+  /// homes-only per-nest headroom at each copy-phase entry (see
+  /// ExhaustiveOptions::use_footprint_bound).  Strictly tightens pruning;
+  /// results are bit-identical on or off.
+  bool use_footprint_bound = true;
+
+  /// "bnb-par" knobs: parallel branch-and-bound over subtree tasks sharing
+  /// one atomic incumbent bound.  The result is bit-identical to serial
+  /// "bnb" for any thread count (the incumbent only prunes); the knobs
+  /// trade setup overhead against load balance and bound strength.
   unsigned bnb_threads = 0;        ///< worker threads (0 = hardware concurrency)
-  int bnb_tasks_per_thread = 4;    ///< target root-frontier tasks per worker
+  int bnb_tasks_per_thread = 4;    ///< static split only: target root tasks per worker
   bool bnb_seed_incumbent = true;  ///< seed the shared bound with the greedy scalar
+  /// Schedule "bnb-par" subtree tasks on work-stealing deques that split on
+  /// demand (default) instead of the fixed root-frontier split; off keeps
+  /// the static split as the scaling-comparison baseline.
+  bool bnb_work_stealing = true;
 
   /// Cooperative run budget for any strategy (see core::BudgetSpec).  The
   /// deadline/probe knobs round-trip through the JSON config ("search"

@@ -291,6 +291,7 @@ std::string to_json(const PipelineConfig& config, int indent) {
       << ", \"use_cost_engine\": " << bool_text(search.use_cost_engine)
       << ", \"use_branch_and_bound\": " << bool_text(search.use_branch_and_bound)
       << ", \"use_footprint_tracker\": " << bool_text(search.use_footprint_tracker)
+      << ", \"use_footprint_bound\": " << bool_text(search.use_footprint_bound)
       << ",\n" << p1 << "             \"anneal_iterations\": " << search.anneal_iterations
       << ", \"anneal_seed\": " << search.anneal_seed
       << ", \"anneal_initial_temp\": " << num_exact(search.anneal_initial_temp)
@@ -298,6 +299,7 @@ std::string to_json(const PipelineConfig& config, int indent) {
       << ",\n" << p1 << "             \"bnb_threads\": " << search.bnb_threads
       << ", \"bnb_tasks_per_thread\": " << search.bnb_tasks_per_thread
       << ", \"bnb_seed_incumbent\": " << bool_text(search.bnb_seed_incumbent)
+      << ", \"bnb_work_stealing\": " << bool_text(search.bnb_work_stealing)
       << ",\n" << p1 << "             \"deadline_seconds\": "
       << num_exact(search.budget.deadline_seconds)
       << ", \"max_probes\": " << search.budget.max_probes << "},\n";
@@ -369,6 +371,7 @@ PipelineConfig pipeline_config_from_json(const std::string& text) {
                    .field("use_cost_engine", search.use_cost_engine, as_bool)
                    .field("use_branch_and_bound", search.use_branch_and_bound, as_bool)
                    .field("use_footprint_tracker", search.use_footprint_tracker, as_bool)
+                   .field("use_footprint_bound", search.use_footprint_bound, as_bool)
                    .field("anneal_iterations", search.anneal_iterations, as_int)
                    .field("anneal_seed", search.anneal_seed, as_integer<std::uint32_t>)
                    .field("anneal_initial_temp", search.anneal_initial_temp, as_double)
@@ -376,6 +379,7 @@ PipelineConfig pipeline_config_from_json(const std::string& text) {
                    .field("bnb_threads", search.bnb_threads, as_unsigned)
                    .field("bnb_tasks_per_thread", search.bnb_tasks_per_thread, as_int)
                    .field("bnb_seed_incumbent", search.bnb_seed_incumbent, as_bool)
+                   .field("bnb_work_stealing", search.bnb_work_stealing, as_bool)
                    .field("deadline_seconds", search.budget.deadline_seconds, as_double)
                    .field("max_probes", search.budget.max_probes, as_long);
                return search;

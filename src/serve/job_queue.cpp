@@ -1,5 +1,7 @@
 #include "serve/job_queue.h"
 
+#include <algorithm>
+
 #include "obs/trace.h"
 
 namespace mhla::serve {
@@ -34,7 +36,11 @@ bool JobQueue::enqueue(const std::shared_ptr<Job>& job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) {
-      job->state.store(JobState::Cancelled, std::memory_order_relaxed);
+      // Accepted but never ran: a terminal Failed, not Cancelled — nobody
+      // asked for it to stop, the server refused it.  Retire immediately so
+      // shutdown-window rejects don't pin map entries.
+      job->state.store(JobState::Failed, std::memory_order_relaxed);
+      retire_locked(job->id);
       return false;
     }
     queue_.push_back(job);
@@ -56,12 +62,36 @@ std::shared_ptr<Job> JobQueue::pop() {
   return job;
 }
 
-bool JobQueue::cancel(std::uint64_t id) {
+void JobQueue::finish(Job& job, JobState state) {
+  job.state.store(state, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  retire_locked(job.id);
+}
+
+CancelOutcome JobQueue::cancel(std::uint64_t id, std::shared_ptr<Job>* dequeued) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = jobs_.find(id);
-  if (it == jobs_.end()) return false;
-  it->second->cancel->store(true, std::memory_order_relaxed);
-  return true;
+  if (it == jobs_.end()) return CancelOutcome::NotFound;
+  // Hold the job by value: retire_locked below may erase map entries
+  // (including, in principle, this one) and invalidate the iterator.
+  std::shared_ptr<Job> job = it->second;
+  job->cancel->store(true, std::memory_order_relaxed);
+  if (job->state.load(std::memory_order_relaxed) == JobState::Queued) {
+    auto pos = std::find_if(queue_.begin(), queue_.end(),
+                            [&](const std::shared_ptr<Job>& q) { return q->id == id; });
+    if (pos != queue_.end()) {
+      queue_.erase(pos);
+      depth_.set(static_cast<std::int64_t>(queue_.size()));
+      job->state.store(JobState::Cancelled, std::memory_order_relaxed);
+      retire_locked(id);
+      if (dequeued) *dequeued = std::move(job);
+      return CancelOutcome::Dequeued;
+    }
+    // Not in the queue despite the Queued state: a worker is between pop()
+    // and the Running store, or the job was accepted but not yet enqueued.
+    // Either way the flag is set and the runner will observe it.
+  }
+  return CancelOutcome::Signalled;
 }
 
 std::vector<JobStatusView> JobQueue::snapshot(bool has_filter, std::uint64_t only_job) const {
@@ -75,7 +105,8 @@ std::vector<JobStatusView> JobQueue::snapshot(bool has_filter, std::uint64_t onl
   return rows;
 }
 
-void JobQueue::close() {
+std::vector<std::shared_ptr<Job>> JobQueue::close() {
+  std::vector<std::shared_ptr<Job>> dropped;
   {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
@@ -83,10 +114,13 @@ void JobQueue::close() {
       job->cancel->store(true, std::memory_order_relaxed);
       job->state.store(JobState::Cancelled, std::memory_order_relaxed);
     }
+    dropped.assign(queue_.begin(), queue_.end());
     queue_.clear();
     depth_.set(0);
+    for (const auto& job : dropped) retire_locked(job->id);
   }
   cv_.notify_all();
+  return dropped;
 }
 
 void JobQueue::cancel_all() {
@@ -96,6 +130,15 @@ void JobQueue::cancel_all() {
     if (state == JobState::Queued || state == JobState::Running) {
       job->cancel->store(true, std::memory_order_relaxed);
     }
+  }
+}
+
+void JobQueue::retire_locked(std::uint64_t id) {
+  if (jobs_.find(id) == jobs_.end()) return;
+  terminal_fifo_.push_back(id);
+  while (terminal_fifo_.size() > retain_terminal_) {
+    jobs_.erase(terminal_fifo_.front());
+    terminal_fifo_.pop_front();
   }
 }
 

@@ -66,11 +66,24 @@ struct Job {
   std::uint64_t started_ns = 0;
 };
 
-/// FIFO queue plus registry of every job the server has accepted.  All
-/// methods are thread-safe; `pop` blocks until a job is available or the
-/// queue is closed.
+/// What a cancel request actually did (see JobQueue::cancel).
+enum class CancelOutcome {
+  NotFound,   ///< unknown (or already retention-pruned) job id
+  Signalled,  ///< cancel flag raised; a running job drains through its budget
+  Dequeued,   ///< still queued: removed before any worker saw it, now Cancelled
+};
+
+/// FIFO queue plus registry of the jobs the server has accepted.  Terminal
+/// jobs are retained for `status` queries only up to a bounded window
+/// (`retain_terminal`, FIFO over completion order) — without the bound a
+/// long-running server leaks one map entry plus the full program text per
+/// request.  All methods are thread-safe; `pop` blocks until a job is
+/// available or the queue is closed.
 class JobQueue {
  public:
+  explicit JobQueue(std::size_t retain_terminal = 1024)
+      : retain_terminal_(retain_terminal) {}
+
   /// Accept a job: assign the next id and register it, but do NOT hand it
   /// to the workers yet.  Returns null (and drops the job) once the queue
   /// is closed.  Acceptance and enqueueing are split deliberately: the
@@ -80,27 +93,39 @@ class JobQueue {
   std::shared_ptr<Job> accept(JobSpec spec, std::shared_ptr<EventSink> sink);
 
   /// Make an accepted job visible to the workers.  False once the queue is
-  /// closed — the job will never run and the caller owes the client a
-  /// terminal event.
+  /// closed — the job is marked Failed and retired; it will never run and
+  /// the caller owes the client a terminal event (and the failed counter a
+  /// bump, to keep accepted == done + failed + cancelled + in-flight).
   bool enqueue(const std::shared_ptr<Job>& job);
 
   /// Next job for a worker; null once the queue is closed and drained.
   /// Marks the job Running before returning it.
   std::shared_ptr<Job> pop();
 
-  /// Raise a job's cancel flag; false for an unknown id.  Cancelling a
-  /// queued job is honored when a worker picks it up; cancelling a finished
-  /// job is a harmless no-op (still "found").
-  bool cancel(std::uint64_t id);
+  /// Record a job's terminal state and retire it into the bounded retention
+  /// window.  Every terminal transition must go through here (or through
+  /// the internal paths of cancel/close/enqueue-on-closed) or the job would
+  /// be tracked forever.
+  void finish(Job& job, JobState state);
 
-  /// Status rows of every job, in id order — or of one job when
-  /// `only_job` is set (empty vector for an unknown id).
+  /// Cancel a job.  A job still sitting in the queue is *dequeued*: marked
+  /// Cancelled and retired immediately, never burning a worker — the caller
+  /// owes its submitter the terminal event (`dequeued` receives the job).
+  /// Otherwise the cancel flag is raised and a running job drains through
+  /// its cooperative budget probes; cancelling a finished job is a harmless
+  /// Signalled no-op.
+  CancelOutcome cancel(std::uint64_t id, std::shared_ptr<Job>* dequeued = nullptr);
+
+  /// Status rows of every tracked job (recent terminals plus everything
+  /// in flight), in id order — or of one job when `only_job` is set (empty
+  /// vector for an unknown or pruned id).
   std::vector<JobStatusView> snapshot(bool has_filter = false,
                                       std::uint64_t only_job = 0) const;
 
-  /// Stop accepting and wake every blocked pop() with null.  Queued jobs
-  /// that no worker claimed are marked Cancelled.
-  void close();
+  /// Stop accepting and wake every blocked pop() with null.  Queued jobs no
+  /// worker claimed are marked Cancelled, retired, and returned so the
+  /// caller can count them and emit their terminal events.
+  std::vector<std::shared_ptr<Job>> close();
 
   /// Raise every unfinished job's cancel flag (shutdown path: running jobs
   /// drain through their budgets).
@@ -114,13 +139,27 @@ class JobQueue {
   /// Monotonic counters over the queue's whole life.
   std::uint64_t accepted_total() const { return accepted_.value(); }
 
+  /// Jobs currently held in the registry: in-flight plus retained
+  /// terminals.  Bounded by in-flight + retain_terminal.
+  std::size_t tracked() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return jobs_.size();
+  }
+
  private:
+  /// Push `id` onto the terminal FIFO and prune the oldest retained
+  /// terminals past the window.  Caller holds mu_; `id` must be in jobs_
+  /// (a pruned id is ignored so late finishes stay harmless).
+  void retire_locked(std::uint64_t id);
+
   mutable std::mutex mu_;
+  std::size_t retain_terminal_;
   obs::Gauge depth_;       ///< queue_.size(), maintained at every transition
   obs::Counter accepted_;  ///< jobs ever accepted
   std::condition_variable cv_;
   std::deque<std::shared_ptr<Job>> queue_;
   std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::deque<std::uint64_t> terminal_fifo_;  ///< retained terminal ids, oldest first
   std::uint64_t next_id_ = 1;
   bool closed_ = false;
 };

@@ -238,6 +238,13 @@ std::string event_done_failed(std::uint64_t job, const std::string& message) {
   return out.str();
 }
 
+std::string event_done_cancelled(std::uint64_t job) {
+  std::ostringstream out;
+  out << "{\"event\": \"done\", \"job\": " << job
+      << ", \"kind\": \"cancelled\", \"state\": \"cancelled\"}";
+  return out.str();
+}
+
 std::string event_status(const std::vector<JobStatusView>& jobs) {
   std::ostringstream out;
   out << "{\"event\": \"status\", \"jobs\": [";
@@ -267,6 +274,7 @@ std::string metrics_payload(const char* event, const ServerMetricsView& view) {
   out << "{\"event\": \"" << event << "\", \"jobs_accepted\": " << view.jobs_accepted
       << ", \"jobs_done\": " << view.jobs_done << ", \"jobs_failed\": " << view.jobs_failed
       << ", \"jobs_cancelled\": " << view.jobs_cancelled
+      << ", \"jobs_tracked\": " << view.jobs_tracked
       << ", \"queue_depth\": " << view.queue_depth << ", \"connections\": " << view.connections
       << ", \"bytes_sent\": " << view.bytes_sent << ", \"lines_sent\": " << view.lines_sent
       << ", \"uptime_seconds\": " << json_number_exact(view.uptime_seconds)

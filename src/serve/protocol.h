@@ -106,6 +106,10 @@ std::string event_done_submit(std::uint64_t job, const std::string& state,
 /// Terminal event of a job that failed before producing a result.
 std::string event_done_failed(std::uint64_t job, const std::string& message);
 
+/// Terminal event of a job cancelled before any worker picked it up (the
+/// queued-cancel and shutdown-drop paths) — no result, no error.
+std::string event_done_cancelled(std::uint64_t job);
+
 /// One row of a status report.
 struct JobStatusView {
   std::uint64_t job = 0;
@@ -125,6 +129,7 @@ struct ServerMetricsView {
   std::uint64_t jobs_done = 0;
   std::uint64_t jobs_failed = 0;
   std::uint64_t jobs_cancelled = 0;
+  std::uint64_t jobs_tracked = 0;  ///< registry size: in-flight + retained terminals
   std::int64_t queue_depth = 0;
   std::int64_t connections = 0;
   std::uint64_t bytes_sent = 0;

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <iostream>
@@ -67,6 +68,9 @@ class Server::Session : public EventSink, public std::enable_shared_from_this<Se
     }
     server_.connections_.sub();
     finished_.store(true, std::memory_order_release);
+    // Last act of the reader thread: hand ourselves to the reaper so the
+    // thread is joined promptly (not only when the next connection lands).
+    server_.on_session_exit(shared_from_this());
   }
 
   Server& server_;
@@ -80,7 +84,8 @@ class Server::Session : public EventSink, public std::enable_shared_from_this<Se
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
       cache_(config_.cache_bounds, config_.cache_shards),
-      listener_(config_.host, config_.port) {
+      listener_(config_.host, config_.port),
+      queue_(config_.job_retention) {
   if (!config_.cache_path.empty()) {
     xplore::ResultCache::LoadReport report = cache_.load_file(config_.cache_path);
     if (!report.clean) std::cerr << "mhla_serve: " << report.message << "\n";
@@ -105,6 +110,7 @@ Server::Server(ServerConfig config)
   });
 
   accept_thread_ = std::thread([this] { accept_loop(); });
+  reap_thread_ = std::thread([this] { reap_loop(); });
   unsigned workers = config_.workers ? config_.workers : 2;
   for (unsigned i = 0; i < workers; ++i) {
     worker_threads_.emplace_back([this] { worker_loop(); });
@@ -150,28 +156,46 @@ void Server::stop() {
   listener_.close();
   if (accept_thread_.joinable()) accept_thread_.join();
 
-  // 2. Unblock and join every reader.  Session objects stay alive through
+  // 2. Retire the reaper first, so from here on no other thread joins
+  // sessions — stop() owns every remaining join.  The reaper drains the
+  // zombie backlog on its way out; readers that exit between now and the
+  // swap below park themselves on the zombie list, which step 3 collects.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    reap_stop_ = true;
+  }
+  reap_cv_.notify_all();
+  if (reap_thread_.joinable()) reap_thread_.join();
+
+  // 3. Unblock and join every reader.  Session objects stay alive through
   // the shared_ptrs their in-flight jobs hold; their sockets are only shut
   // down, so late event sends fail cleanly instead of racing destruction.
   std::vector<std::shared_ptr<Session>> sessions;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     sessions.swap(sessions_);
+    sessions.insert(sessions.end(), zombies_.begin(), zombies_.end());
+    zombies_.clear();
   }
   for (const auto& session : sessions) session->shutdown();
   for (const auto& session : sessions) session->join();
 
-  // 3. Cancel everything in flight and let the workers drain: running jobs
+  // 4. Cancel everything in flight and let the workers drain: running jobs
   // observe their cancel tokens through the budget probes and finish with
-  // anytime results (which still warm the cache).
+  // anytime results (which still warm the cache).  Queued jobs no worker
+  // ever claimed come back from close(): count them and emit their terminal
+  // events here, or the accepted == done+failed+cancelled invariant breaks.
   queue_.cancel_all();
-  queue_.close();
+  for (const std::shared_ptr<Job>& dropped : queue_.close()) {
+    jobs_cancelled_.add();  // before the event: see run_submit's ordering note
+    dropped->sink->send(event_done_cancelled(dropped->id));
+  }
   for (std::thread& worker : worker_threads_) {
     if (worker.joinable()) worker.join();
   }
   worker_threads_.clear();
 
-  // 4. Stop the persister and the stats broadcaster, write the final save.
+  // 5. Stop the persister and the stats broadcaster, write the final save.
   if (persist_thread_.joinable()) persist_thread_.join();
   if (stats_thread_.joinable()) stats_thread_.join();
   if (!config_.cache_path.empty()) {
@@ -182,7 +206,7 @@ void Server::stop() {
     }
   }
 
-  // 5. Unhook the registry sources — the snapshot callbacks capture `this`
+  // 6. Unhook the registry sources — the snapshot callbacks capture `this`
   // and the cache, both about to go away.
   obs::Registry& registry = obs::Registry::instance();
   registry.remove_source(metrics_source_);
@@ -196,19 +220,42 @@ void Server::accept_loop() {
     auto session = std::make_shared<Session>(*this, std::move(socket));
     {
       std::lock_guard<std::mutex> lock(sessions_mu_);
-      // Reap readers that already hit EOF, so a long-lived server does not
-      // accumulate one exited thread per past connection.
-      for (auto it = sessions_.begin(); it != sessions_.end();) {
-        if ((*it)->finished()) {
-          (*it)->join();
-          it = sessions_.erase(it);
-        } else {
-          ++it;
-        }
-      }
       sessions_.push_back(session);
     }
     session->start();
+  }
+}
+
+void Server::on_session_exit(const std::shared_ptr<Session>& session) {
+  bool moved = false;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = std::find(sessions_.begin(), sessions_.end(), session);
+    // Absent means stop() already swapped the live list and owns the join;
+    // moving the session anyway would set up a double join.
+    if (it != sessions_.end()) {
+      sessions_.erase(it);
+      zombies_.push_back(session);
+      moved = true;
+    }
+  }
+  if (moved) reap_cv_.notify_one();
+}
+
+void Server::reap_loop() {
+  std::unique_lock<std::mutex> lock(sessions_mu_);
+  std::vector<std::shared_ptr<Session>> batch;
+  for (;;) {
+    reap_cv_.wait(lock, [&] { return reap_stop_ || !zombies_.empty(); });
+    if (zombies_.empty() && reap_stop_) return;
+    batch.swap(zombies_);
+    lock.unlock();
+    // join() blocks only for the instants between a reader's hand-off and
+    // its actual return; the destructor here may also free the Session (a
+    // finished job could hold the last other reference).
+    for (const auto& session : batch) session->join();
+    batch.clear();
+    lock.lock();
   }
 }
 
@@ -247,6 +294,9 @@ void Server::handle_request(const std::shared_ptr<Session>& session, const std::
       // never overtake the acceptance.
       session->send(event_accepted(job->id, request.command));
       if (!queue_.enqueue(job)) {
+        // The queue marked the job Failed and retired it; the counter must
+        // follow or accepted would exceed the terminal counters forever.
+        jobs_failed_.add();  // before the event: see run_submit's ordering note
         job->sink->send(event_done_failed(job->id, "server is shutting down"));
       }
       break;
@@ -254,9 +304,18 @@ void Server::handle_request(const std::shared_ptr<Session>& session, const std::
     case Command::Status:
       session->send(event_status(queue_.snapshot(request.has_job, request.job)));
       break;
-    case Command::Cancel:
-      session->send(event_cancelled(request.job, queue_.cancel(request.job)));
+    case Command::Cancel: {
+      std::shared_ptr<Job> dequeued;
+      CancelOutcome outcome = queue_.cancel(request.job, &dequeued);
+      session->send(event_cancelled(request.job, outcome != CancelOutcome::NotFound));
+      if (outcome == CancelOutcome::Dequeued) {
+        // The job left the queue without ever reaching a worker, so nobody
+        // else will emit its terminal event — do it here, counter first.
+        jobs_cancelled_.add();
+        dequeued->sink->send(event_done_cancelled(dequeued->id));
+      }
       break;
+    }
     case Command::CacheStats:
       session->send(event_cache_stats(cache_.stats()));
       break;
@@ -298,7 +357,7 @@ void Server::run_job(const std::shared_ptr<Job>& job) {
       run_explore(*job);
     }
   } catch (const std::exception& error) {
-    job->state.store(JobState::Failed, std::memory_order_relaxed);
+    queue_.finish(*job, JobState::Failed);
     jobs_failed_.add();  // before the event: see run_submit's ordering note
     job->sink->send(event_done_failed(job->id, error.what()));
   }
@@ -315,7 +374,7 @@ void Server::run_submit(Job& job) {
 
   xplore::CacheEntry cached;
   if (cache_.lookup(key, cached)) {
-    job.state.store(JobState::Done, std::memory_order_relaxed);
+    queue_.finish(job, JobState::Done);
     // Outcome counters bump *before* the terminal event goes out (here and
     // in every terminal path): a client that reads `done` and immediately
     // asks for `metrics` must find its job counted.
@@ -349,7 +408,7 @@ void Server::run_submit(Job& job) {
 
   const bool cancelled = job.cancel->load(std::memory_order_relaxed) &&
                          run.search.status == assign::SearchStatus::BudgetExhausted;
-  job.state.store(cancelled ? JobState::Cancelled : JobState::Done, std::memory_order_relaxed);
+  queue_.finish(job, cancelled ? JobState::Cancelled : JobState::Done);
   (cancelled ? jobs_cancelled_ : jobs_done_).add();
   job.sink->send(event_done_submit(job.id, cancelled ? "cancelled" : "done", run.search.status,
                                    run.search.gap, point.total_cycles(), point.energy_nj,
@@ -378,7 +437,7 @@ void Server::run_explore(Job& job) {
 
   const bool cancelled =
       job.cancel->load(std::memory_order_relaxed) && result.budget_exhausted;
-  job.state.store(cancelled ? JobState::Cancelled : JobState::Done, std::memory_order_relaxed);
+  queue_.finish(job, cancelled ? JobState::Cancelled : JobState::Done);
   (cancelled ? jobs_cancelled_ : jobs_done_).add();
   job.sink->send(event_done_explore(job.id, cancelled ? "cancelled" : "done", result));
 }
@@ -389,6 +448,7 @@ ServerMetricsView Server::metrics_view() const {
   view.jobs_done = jobs_done_.value();
   view.jobs_failed = jobs_failed_.value();
   view.jobs_cancelled = jobs_cancelled_.value();
+  view.jobs_tracked = queue_.tracked();
   view.queue_depth = queue_.depth();
   view.connections = connections_.value();
   view.bytes_sent = bytes_sent_.value();

@@ -39,6 +39,11 @@ struct ServerConfig {
   /// via `{"cmd":"metrics","stream":true}`; <= 0 disables the broadcaster
   /// thread (the one-shot `metrics` snapshot always works).
   double stats_interval_seconds = 0.0;
+
+  /// Terminal jobs kept in the registry for `status` queries (FIFO over
+  /// completion order).  Bounds the job map: without it a long-lived server
+  /// leaks one entry plus the program text per request ever served.
+  std::size_t job_retention = 1024;
 };
 
 /// The mhla_serve engine: a TCP server speaking the newline-delimited JSON
@@ -101,6 +106,14 @@ class Server {
   void worker_loop();
   void persist_loop();
   void stats_loop();
+  void reap_loop();
+  /// Called by a session's reader thread as its last act: move the session
+  /// from the live list to the zombie list and wake the reaper, so exited
+  /// readers are joined promptly instead of lingering until the next accept
+  /// (or forever, on a server that stops getting connections).  During
+  /// stop() the live list is already swapped out, so the session is absent
+  /// and stop() keeps sole ownership of the join.
+  void on_session_exit(const std::shared_ptr<Session>& session);
   void handle_request(const std::shared_ptr<Session>& session, const std::string& line);
   void run_job(const std::shared_ptr<Job>& job);
   void run_submit(Job& job);
@@ -132,11 +145,15 @@ class Server {
 
   std::mutex sessions_mu_;
   std::vector<std::shared_ptr<Session>> sessions_;
+  std::vector<std::shared_ptr<Session>> zombies_;  ///< exited, awaiting join
+  std::condition_variable reap_cv_;                ///< guarded by sessions_mu_
+  bool reap_stop_ = false;                         ///< guarded by sessions_mu_
 
   std::thread accept_thread_;
   std::vector<std::thread> worker_threads_;
   std::thread persist_thread_;
   std::thread stats_thread_;
+  std::thread reap_thread_;
 };
 
 }  // namespace mhla::serve

@@ -68,9 +68,11 @@ PipelineConfig custom_config() {
   config.search.use_cost_engine = false;
   config.search.use_branch_and_bound = false;
   config.search.use_footprint_tracker = false;
+  config.search.use_footprint_bound = false;
   config.search.bnb_threads = 6;
   config.search.bnb_tasks_per_thread = 2;
   config.search.bnb_seed_incumbent = false;
+  config.search.bnb_work_stealing = false;
   config.te.order = te::ExtensionOrder::BySizeDescending;
   config.te.max_lookahead = 5;
   config.te.charge_cold_start = true;

@@ -5,7 +5,10 @@
 //
 //   greedy   vs greedy-ref     — bit-identical moves/result (engine contract)
 //   bnb      vs exhaustive-ref — identical optimum (pruning never changes it)
-//   bnb-par  vs bnb            — identical optimum for any thread count
+//   bnb-par  vs bnb            — identical optimum for any thread count,
+//                                under both the work-stealing scheduler and
+//                                the static-split baseline
+//   footprint bound on vs off  — identical optimum, never more states
 //   greedy / anneal            — scalar dominated by the exact optimum
 //   tracker on vs off          — greedy/bnb/anneal unchanged when feasibility
 //                                comes from the incremental FootprintTracker
@@ -122,6 +125,9 @@ TEST(Differential, RegistryStrategyPairsAgreeOverRandomCorpus) {
         for (unsigned threads : {2u, 3u}) {
           assign::SearchOptions par_options = serial_options;
           par_options.bnb_threads = threads;
+          // Alternate schedulers across the corpus so both the work-stealing
+          // deques and the static-split baseline face every program shape.
+          par_options.bnb_work_stealing = (seed + threads) % 2 == 0;
           assign::SearchResult parallel = assign::searcher("bnb-par").search(ctx, par_options);
           // max_states bounds each task separately and task pruning depends
           // on incumbent timing, so a task can run out of budget even when
@@ -167,6 +173,11 @@ TEST(Differential, RegistryStrategyPairsAgreeOverRandomCorpus) {
 std::vector<std::string> stress_apps() { return {"conv_filter", "cavity_detection"}; }
 
 TEST(Differential, BnbParIsBitIdenticalAcrossThreadCounts) {
+  // Both schedulers — the work-stealing deques (default) and the static
+  // root-frontier split kept as the comparison baseline — must reproduce the
+  // serial optimum bit for bit at every thread count.  Under work stealing
+  // the subtree interleaving additionally depends on steal timing, so the
+  // same gate covers "any steal schedule".
   for (const std::string& app : stress_apps()) {
     SCOPED_TRACE(app);
     auto ws = core::make_workspace(apps::build_app(app), mem::PlatformConfig{}, {});
@@ -174,13 +185,49 @@ TEST(Differential, BnbParIsBitIdenticalAcrossThreadCounts) {
     assign::SearchOptions options;
     assign::SearchResult serial = assign::searcher("bnb").search(ctx, options);
     ASSERT_FALSE(serial.exhausted_budget);
-    for (unsigned threads : {1u, 2u, 4u, 8u}) {
-      assign::SearchOptions par_options = options;
+    for (bool stealing : {true, false}) {
+      for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE((stealing ? "work-stealing, threads " : "static split, threads ") +
+                     std::to_string(threads));
+        assign::SearchOptions par_options = options;
+        par_options.bnb_threads = threads;
+        par_options.bnb_work_stealing = stealing;
+        assign::SearchResult parallel = assign::searcher("bnb-par").search(ctx, par_options);
+        EXPECT_EQ(parallel.assignment, serial.assignment);
+        EXPECT_EQ(parallel.scalar, serial.scalar);
+        EXPECT_FALSE(parallel.exhausted_budget);
+      }
+    }
+  }
+}
+
+TEST(Differential, FootprintBoundTogglePreservesOptimumAndOnlyPrunes) {
+  // The footprint-aware copy-phase bound is admissible: toggling it may only
+  // change how much is pruned, never the optimum — serial and work-stealing
+  // parallel alike.
+  for (const std::string& app : stress_apps()) {
+    SCOPED_TRACE(app);
+    auto ws = core::make_workspace(apps::build_app(app), mem::PlatformConfig{}, {});
+    auto ctx = ws->context();
+    assign::SearchOptions with_bound;
+    with_bound.use_footprint_bound = true;
+    assign::SearchOptions without_bound;
+    without_bound.use_footprint_bound = false;
+    assign::SearchResult tight = assign::searcher("bnb").search(ctx, with_bound);
+    assign::SearchResult loose = assign::searcher("bnb").search(ctx, without_bound);
+    ASSERT_FALSE(tight.exhausted_budget);
+    ASSERT_FALSE(loose.exhausted_budget);
+    EXPECT_EQ(tight.assignment, loose.assignment);
+    EXPECT_EQ(tight.scalar, loose.scalar);
+    EXPECT_LE(tight.states_explored, loose.states_explored);
+
+    for (unsigned threads : {2u, 4u}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      assign::SearchOptions par_options = without_bound;
       par_options.bnb_threads = threads;
       assign::SearchResult parallel = assign::searcher("bnb-par").search(ctx, par_options);
-      EXPECT_EQ(parallel.assignment, serial.assignment) << "threads " << threads;
-      EXPECT_EQ(parallel.scalar, serial.scalar) << "threads " << threads;
-      EXPECT_FALSE(parallel.exhausted_budget) << "threads " << threads;
+      EXPECT_EQ(parallel.assignment, tight.assignment);
+      EXPECT_EQ(parallel.scalar, tight.scalar);
     }
   }
 }

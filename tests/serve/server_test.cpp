@@ -374,6 +374,102 @@ TEST(Server, ShutdownVerbDrainsAndPersistsForAWarmRestart) {
   std::remove(cache_path.c_str());
 }
 
+TEST(Server, JobRetentionBoundsTheRegistryAndCountersSumToAccepted) {
+  ServerConfig config;
+  config.job_retention = 2;
+  Server server(config);
+  TestClient client(server.port());
+
+  // Six sequential submits, each awaited to its terminal event.
+  Request request = submit_request(mhla::testing::tiny_stream_program());
+  std::uint64_t last_job = 0;
+  for (int i = 0; i < 6; ++i) {
+    client.send(request);
+    Json accepted = client.next_named("accepted");
+    last_job = static_cast<std::uint64_t>(accepted.at("job").integer());
+    client.next_named("done");
+  }
+
+  // The registry holds only the retention window, not all six jobs — the
+  // counters, not the map, carry the full history.
+  Request metrics;
+  metrics.command = Command::Metrics;
+  client.send(metrics);
+  Json view = client.next_named("metrics");
+  EXPECT_EQ(view.at("jobs_accepted").integer(), 6);
+  EXPECT_EQ(view.at("jobs_tracked").integer(), 2);
+  EXPECT_EQ(view.at("jobs_accepted").integer(),
+            view.at("jobs_done").integer() + view.at("jobs_failed").integer() +
+                view.at("jobs_cancelled").integer());
+
+  // `status` still answers for the retained recent jobs ...
+  Request status;
+  status.command = Command::Status;
+  client.send(status);
+  Json report = client.next_named("status");
+  ASSERT_EQ(report.at("jobs").array().size(), 2u);
+  EXPECT_EQ(report.at("jobs").array()[1].at("job").integer(),
+            static_cast<std::int64_t>(last_job));
+
+  // ... and reports a pruned id as unknown (empty row set), like any
+  // id the server never saw.
+  status.job = 1;  // the first job, two retention windows ago
+  status.has_job = true;
+  client.send(status);
+  EXPECT_TRUE(client.next_named("status").at("jobs").array().empty());
+}
+
+TEST(Server, CancelWhileQueuedEmitsImmediateTerminalEvent) {
+  ServerConfig config;
+  config.workers = 1;
+  Server server(config);
+  TestClient client(server.port());
+
+  // Occupy the single worker with a genuinely long exact search (60 s
+  // deadline as the backstop against a broken cancel hanging the suite).
+  Request blocker;
+  blocker.command = Command::Submit;
+  blocker.program_text = ir::serialize(apps::build_app("mpeg2_encoder"));
+  blocker.config.strategy = "bnb";
+  blocker.config.search.max_states = 2'000'000'000L;
+  blocker.config.search.budget.deadline_seconds = 60.0;
+  blocker.has_config = true;
+  client.send(blocker);
+  const std::uint64_t running =
+      static_cast<std::uint64_t>(client.next_named("accepted").at("job").integer());
+
+  // A second job now sits in the queue with no worker to claim it.
+  client.send(submit_request(mhla::testing::tiny_stream_program()));
+  const std::uint64_t queued =
+      static_cast<std::uint64_t>(client.next_named("accepted").at("job").integer());
+
+  // Cancelling the queued job must not wait for the worker: the ack and the
+  // terminal event both arrive while the blocker is still running.
+  Request cancel;
+  cancel.command = Command::Cancel;
+  cancel.job = queued;
+  cancel.has_job = true;
+  client.send(cancel);
+  Json ack = client.next_named("cancelled");
+  EXPECT_TRUE(ack.at("found").boolean());
+  Json done = client.next_named("done");
+  EXPECT_EQ(static_cast<std::uint64_t>(done.at("job").integer()), queued);
+  EXPECT_EQ(done.at("state").string(), "cancelled");
+  EXPECT_EQ(done.at("kind").string(), "cancelled");
+  EXPECT_EQ(server.metrics_view().jobs_cancelled, 1u);
+
+  // Now release the worker and check the books: both jobs terminal, the
+  // counters summing exactly to the accepted count.
+  cancel.job = running;
+  client.send(cancel);
+  client.next_named("cancelled");
+  Json blocker_done = client.next_named("done");
+  EXPECT_EQ(static_cast<std::uint64_t>(blocker_done.at("job").integer()), running);
+  ServerMetricsView view = server.metrics_view();
+  EXPECT_EQ(view.jobs_accepted,
+            view.jobs_done + view.jobs_failed + view.jobs_cancelled);
+}
+
 TEST(Server, StopWithQueuedWorkCancelsCleanly) {
   ServerConfig config;
   config.workers = 1;
@@ -388,7 +484,16 @@ TEST(Server, StopWithQueuedWorkCancelsCleanly) {
     client.next_named("accepted");
   }
   server.stop();
-  SUCCEED() << "teardown with in-flight work joined cleanly";
+
+  // Every accepted job reached a terminal state and was counted exactly
+  // once: finished before the stop, cancelled mid-run through its budget,
+  // or dropped from the queue by close() — the invariant the shutdown and
+  // cancel races used to break.
+  ServerMetricsView view = server.metrics_view();
+  EXPECT_EQ(view.jobs_accepted, 4u);
+  EXPECT_EQ(view.jobs_accepted,
+            view.jobs_done + view.jobs_failed + view.jobs_cancelled);
+  EXPECT_EQ(view.queue_depth, 0);
 }
 
 }  // namespace
