@@ -11,14 +11,71 @@
 
 #include "bench_common.h"
 
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <new>
 #include <sstream>
 
+#include "assign/cost_engine.h"
 #include "assign/footprint_tracker.h"
 #include "assign/search.h"
 #include "core/json_report.h"
 #include "core/parallel_for.h"
 #include "ir/builder.h"
+
+// ---- binary-wide allocation counter for the data-layout block -------------
+// Replacing the global operator new/delete with counting forms lets the
+// steady-state measurement report exact heap allocations per engine move
+// (the data_layout JSON block CI asserts to be zero).  malloc plus a relaxed
+// atomic tick keeps the overhead far below timer noise.
+
+// noinline keeps GCC from pairing an inlined malloc-backed new with an
+// inlined free-backed delete at call sites (-Wmismatched-new-delete).
+#if defined(__GNUC__)
+#define MHLA_BENCH_NOINLINE __attribute__((noinline))
+#else
+#define MHLA_BENCH_NOINLINE
+#endif
+
+namespace {
+std::atomic<long> g_heap_allocs{0};
+
+MHLA_BENCH_NOINLINE void* counted_alloc(std::size_t size) {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p) g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+MHLA_BENCH_NOINLINE void counted_free(void* p) { std::free(p); }
+}  // namespace
+
+MHLA_BENCH_NOINLINE void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+MHLA_BENCH_NOINLINE void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+MHLA_BENCH_NOINLINE void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+MHLA_BENCH_NOINLINE void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+MHLA_BENCH_NOINLINE void operator delete(void* p) noexcept { counted_free(p); }
+MHLA_BENCH_NOINLINE void operator delete[](void* p) noexcept { counted_free(p); }
+MHLA_BENCH_NOINLINE void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+MHLA_BENCH_NOINLINE void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+MHLA_BENCH_NOINLINE void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+MHLA_BENCH_NOINLINE void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
 
 namespace {
 
@@ -170,6 +227,77 @@ FeasibilityRow measure_feasibility(const apps::AppInfo& info) {
   return row;
 }
 
+struct DataLayoutRow {
+  std::string app;
+  long moves = 0;              ///< accepted greedy moves (identical both paths)
+  double batched_s = 0.0;      ///< greedy end-to-end, batched round scoring
+  double per_candidate_s = 0.0;  ///< greedy end-to-end, apply/undo per candidate
+  long steady_allocs = 0;      ///< heap allocations across one full move replay
+  long allocs_per_move = 0;    ///< steady_allocs / moves (CI asserts 0)
+};
+
+/// The data-layout measurements: greedy end-to-end under batched round
+/// scoring versus the per-candidate checkpoint/apply/undo cycle (identical
+/// walks, so the wall-clock ratio is pure scoring cost), and the
+/// steady-state heap-allocation count of replaying the accepted move trail
+/// on a warmed-up engine (the SoA tables, scorer scratch, and arena journals
+/// make it zero by construction).
+DataLayoutRow measure_data_layout(const apps::AppInfo& info) {
+  DataLayoutRow row;
+  row.app = info.name;
+  auto ws = core::make_workspace(info.build(), bench::default_platform(), {});
+  auto ctx = ws->context();
+
+  constexpr int kRepeats = 10;
+  assign::SearchOptions batched_options;  // batched scoring is the default
+  assign::SearchOptions per_candidate_options;
+  per_candidate_options.greedy_batched_scoring = false;
+
+  assign::SearchResult batched;
+  auto t0 = Clock::now();
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    batched = assign::searcher("greedy").search(ctx, batched_options);
+  }
+  row.batched_s = seconds_since(t0) / kRepeats;
+  assign::SearchResult per_candidate;
+  t0 = Clock::now();
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    per_candidate = assign::searcher("greedy").search(ctx, per_candidate_options);
+  }
+  row.per_candidate_s = seconds_since(t0) / kRepeats;
+  if (batched.scalar != per_candidate.scalar || batched.moves.size() != per_candidate.moves.size()) {
+    std::cout << "WARNING: batched/per-candidate greedy mismatch on " << info.name << "\n";
+  }
+  row.moves = static_cast<long>(batched.moves.size());
+
+  // Steady-state allocations: replay the accepted trail on a prebuilt
+  // engine.  The first replay fills every lazy high-water mark; the counted
+  // replay must then stay entirely inside the setup-time reservations.
+  assign::CostEngine engine(ctx);
+  auto replay = [&]() {
+    for (const assign::GreedyMove& move : batched.moves) {
+      switch (move.kind) {
+        case assign::GreedyMove::Kind::SelectCopy:
+          engine.select_copy(move.cc_id, move.layer);
+          break;
+        case assign::GreedyMove::Kind::MigrateArray:
+          engine.migrate_array(engine.array_id(move.array), move.layer);
+          break;
+        case assign::GreedyMove::Kind::RemoveCopy:
+          engine.remove_copy(move.cc_id);
+          break;
+      }
+    }
+    engine.undo_to(0);
+  };
+  replay();  // warm-up
+  long before = g_heap_allocs.load(std::memory_order_relaxed);
+  replay();
+  row.steady_allocs = g_heap_allocs.load(std::memory_order_relaxed) - before;
+  row.allocs_per_move = row.moves > 0 ? row.steady_allocs / row.moves : row.steady_allocs;
+  return row;
+}
+
 void print_scaling_report() {
   bench::print_header("Search scaling: incremental cost engine + parallel sweep",
                       "fast, accurate and automatic exploration (tool-speed claim)");
@@ -223,6 +351,27 @@ void print_scaling_report() {
   }
   std::cout << "feasibility (fits() probes on the final greedy assignment):\n"
             << feas_table.str() << "\n";
+
+  // --- Data layout: batched round scoring vs per-candidate apply/undo, and
+  // the steady-state allocation count of the engine move loop (zero once the
+  // setup-time reservations hold; the CI bench smoke asserts it).
+  std::vector<DataLayoutRow> data_layout;
+  core::Table dl_table({"application", "moves", "per-cand ms", "batched ms", "speedup",
+                        "batched moves/s", "allocs/move"});
+  for (const apps::AppInfo& info : apps::all_apps()) {
+    if (info.name != "motion_estimation" && info.name != "mpeg2_encoder") continue;
+    DataLayoutRow row = measure_data_layout(info);
+    dl_table.add_row(
+        {row.app, std::to_string(row.moves), core::Table::num(row.per_candidate_s * 1e3, 3),
+         core::Table::num(row.batched_s * 1e3, 3),
+         core::Table::num(row.per_candidate_s / (row.batched_s > 0 ? row.batched_s : 1e-9), 2) +
+             "x",
+         core::Table::num(row.moves / (row.batched_s > 0 ? row.batched_s : 1e-9), 0),
+         std::to_string(row.allocs_per_move)});
+    data_layout.push_back(std::move(row));
+  }
+  std::cout << "data layout (batched round scoring + arena journals):\n"
+            << dl_table.str() << "\n";
 
   // --- Exhaustive throughput: the mirror mode replays the reference DFS
   // state for state (identical states_explored under the same budget), so
@@ -387,6 +536,17 @@ void print_scaling_report() {
   json << "  ], \"static_curve\": [\n";
   emit_curve(static_rows);
   json << "  ]},\n"
+       << "  \"data_layout\": [\n";
+  for (std::size_t i = 0; i < data_layout.size(); ++i) {
+    const DataLayoutRow& row = data_layout[i];
+    json << "    {\"app\": \"" << core::json_escape(row.app) << "\", \"moves\": " << row.moves
+         << ", \"batched_s\": " << row.batched_s
+         << ", \"per_candidate_s\": " << row.per_candidate_s
+         << ", \"steady_allocs\": " << row.steady_allocs
+         << ", \"allocs_per_move\": " << row.allocs_per_move << "}"
+         << (i + 1 < data_layout.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
        << "  \"sweep\": {\"threads\": " << hw << ", \"serial_s\": " << serial_total
        << ", \"parallel_s\": " << parallel_total << "}\n}\n";
   std::cout << json.str() << "\n";

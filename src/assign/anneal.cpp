@@ -76,20 +76,20 @@ AnnealResult anneal_assign(const AssignContext& ctx, const AnnealOptions& option
         break;
       }
       case 1: {  // remove a selected copy
-        const auto& copies = engine.assignment().copies;
+        const auto& copies = engine.placed_copies();
         if (copies.empty()) break;
         engine.remove_copy(copies[draw(rng, copies.size())].cc_id);
         proposed = true;
         break;
       }
-      default: {  // migrate an array's home layer
+      default: {  // migrate an array's home layer (drawn index == array id)
         if (arrays.empty()) break;
-        const ir::ArrayDecl& array = arrays[draw(rng, arrays.size())];
+        std::size_t a = draw(rng, arrays.size());
         int layer = static_cast<int>(draw(rng, static_cast<std::size_t>(ctx.hierarchy.num_layers())));
-        if (layer == engine.assignment().layer_of(array.name, background)) break;
+        if (layer == engine.home_of(a)) break;
         const mem::MemLayer& target = ctx.hierarchy.layer(layer);
-        if (!target.unbounded() && array.bytes() > target.capacity_bytes) break;
-        engine.migrate_array(array.name, layer);
+        if (!target.unbounded() && arrays[a].bytes() > target.capacity_bytes) break;
+        engine.migrate_array(a, layer);
         proposed = true;
         break;
       }

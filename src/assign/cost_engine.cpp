@@ -1,12 +1,34 @@
 #include "assign/cost_engine.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 #include <stdexcept>
 
 #include "ir/walk.h"
 
 namespace mhla::assign {
+
+namespace {
+
+/// Flatten a jagged row collection into CSR form: one contiguous item array
+/// plus a size+1 offset array.  Construction-time only.
+void flatten_rows(const std::vector<std::vector<int>>& rows, std::vector<int>& items,
+                  std::vector<std::size_t>& offsets) {
+  offsets.assign(rows.size() + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    total += rows[r].size();
+    offsets[r + 1] = total;
+  }
+  items.clear();
+  items.reserve(total);
+  for (const std::vector<int>& row : rows) {
+    items.insert(items.end(), row.begin(), row.end());
+  }
+}
+
+}  // namespace
 
 CostEngine::CostEngine(const AssignContext& ctx)
     : ctx_(ctx),
@@ -57,7 +79,7 @@ CostEngine::CostEngine(const AssignContext& ctx)
   site_array_.resize(S);
   site_energy_.assign(S * L, 0.0);
   site_cycles_.assign(S * L, 0.0);
-  covering_.resize(S);
+  std::vector<std::vector<int>> covering(S);
   for (const analysis::AccessSite& site : ctx_.sites) {
     std::size_t s = static_cast<std::size_t>(site.id);
     i64 n = site.dynamic_accesses();
@@ -74,16 +96,18 @@ CostEngine::CostEngine(const AssignContext& ctx)
     }
   }
 
-  // Per-candidate structure and transfer terms for every layer pair.
+  // Per-candidate structure and transfer terms for every layer pair.  The
+  // jagged covering / member-site / ancestor rows are built locally and
+  // flattened into CSR arrays once sorted.
   const auto& candidates = ctx_.reuse.candidates();
   const std::size_t C = candidates.size();
   cc_level_.resize(C);
   cc_fill_free_.resize(C);
   cc_write_back_.resize(C);
   cc_elems_moved_.resize(C);
-  cc_sites_.resize(C);
-  cc_ancestors_.resize(C);
   cc_array_.resize(C);
+  std::vector<std::vector<int>> cc_sites(C);
+  std::vector<std::vector<int>> cc_ancestors(C);
   fill_energy_.assign(C * L * L, 0.0);
   wb_energy_.assign(C * L * L, 0.0);
   xfer_cycles_.assign(C * L * L, 0.0);
@@ -108,18 +132,18 @@ CostEngine::CostEngine(const AssignContext& ctx)
     }
     for (const analysis::AccessSite& site : ctx_.sites) {
       if (cc_covers_site(cc, site)) {
-        cc_sites_[c].push_back(site.id);
-        covering_[static_cast<std::size_t>(site.id)].push_back(cc.id);
+        cc_sites[c].push_back(site.id);
+        covering[static_cast<std::size_t>(site.id)].push_back(cc.id);
       }
     }
     for (const analysis::CopyCandidate& other : candidates) {
-      if (cc_is_ancestor(other, cc)) cc_ancestors_[c].push_back(other.id);
+      if (cc_is_ancestor(other, cc)) cc_ancestors[c].push_back(other.id);
     }
-    std::sort(cc_ancestors_[c].begin(), cc_ancestors_[c].end(),
+    std::sort(cc_ancestors[c].begin(), cc_ancestors[c].end(),
               [&](int a, int b) { return candidates[static_cast<std::size_t>(a)].level >
                                          candidates[static_cast<std::size_t>(b)].level; });
   }
-  for (std::vector<int>& cov : covering_) {
+  for (std::vector<int>& cov : covering) {
     std::sort(cov.begin(), cov.end(), [&](int a, int b) {
       return candidates[static_cast<std::size_t>(a)].level >
              candidates[static_cast<std::size_t>(b)].level;
@@ -141,7 +165,7 @@ CostEngine::CostEngine(const AssignContext& ctx)
     for (int layer = 0; layer < background_; ++layer) {
       const mem::MemLayer& target = ctx_.hierarchy.layer(layer);
       if (!target.unbounded() && cc.bytes > target.capacity_bytes) continue;
-      for (int site : cc_sites_[c]) {
+      for (int site : cc_sites[c]) {
         std::size_t s = static_cast<std::size_t>(site);
         site_suffix_e_[s * (C + 1) + c] =
             std::min(site_suffix_e_[s * (C + 1) + c], site_energy_term(s, layer));
@@ -150,6 +174,27 @@ CostEngine::CostEngine(const AssignContext& ctx)
       }
     }
   }
+
+  flatten_rows(covering, covering_items_, covering_off_);
+  flatten_rows(cc_sites, cc_sites_items_, cc_sites_off_);
+  flatten_rows(cc_ancestors, cc_anc_items_, cc_anc_off_);
+
+  // Steady-state allocation discipline: size the undo arena for a deep
+  // speculative excursion plus a healthy accepted-move history, and every
+  // scratch vector for its worst case, so the moves and the batched scorer
+  // never touch the heap after this point (ArenaStack regrows — counted —
+  // if a walk outruns the reservation).
+  undo_.reserve(64 + S + 4 * C + 2 * arrays.size());
+  offenders_.reserve(C);
+  home_touched_list_.reserve(arrays.size());
+  scr_stamp_.reserve(C);
+  scr_desc_max_.reserve(C);
+  scr_parent_.reserve(C);
+  scr_displaces_.reserve(C * C);
+  scr_e_.reserve(C * L);
+  scr_ac_.reserve(C * L);
+  scr_pin_e_.reserve(2 * arrays.size());
+  scr_pin_c_.reserve(2 * arrays.size());
 
   load(out_of_box(ctx_));
 }
@@ -184,6 +229,12 @@ void CostEngine::load(const Assignment& assignment) {
     copy_layer_[static_cast<std::size_t>(pc.cc_id)] = pc.layer;
   }
   assignment_ = assignment;
+  // Every candidate can be placed at most once, so reserving C slots makes
+  // select_copy's push_back (and undo's re-insert) allocation-free for good.
+  assignment_.copies.reserve(copy_layer_.size());
+  assignment_dirty_ = false;
+  home_touched_.assign(array_names_.size(), 0);
+  home_touched_list_.clear();
 
   home_.resize(array_names_.size());
   for (std::size_t a = 0; a < array_names_.size(); ++a) {
@@ -192,15 +243,23 @@ void CostEngine::load(const Assignment& assignment) {
 
   serving_cc_.assign(site_n_.size(), -1);
   for (std::size_t s = 0; s < serving_cc_.size(); ++s) {
-    for (int cc : covering_[s]) {
+    for (int cc : covering(s)) {
       if (copy_layer_[static_cast<std::size_t>(cc)] >= 0) {
-        serving_cc_[s] = cc;  // covering_ is level-descending: first hit is deepest
+        serving_cc_[s] = cc;  // covering is level-descending: first hit is deepest
         break;
       }
     }
   }
 
   footprint_.load(assignment_);
+}
+
+void CostEngine::sync_assignment() const {
+  for (int a : home_touched_list_) {
+    std::size_t idx = static_cast<std::size_t>(a);
+    assignment_.array_layer[array_names_[idx]] = home_[idx];
+  }
+  assignment_dirty_ = false;
 }
 
 void CostEngine::set_serving(std::size_t site, int cc_id) {
@@ -218,7 +277,7 @@ void CostEngine::select_copy(int cc_id, int layer) {
   assignment_.copies.push_back({cc_id, layer});
   undo_.push_back({UndoRec::Kind::CopyPush, cc_id, 0, 0});
   footprint_.place_copy(cc_id, layer);
-  for (int site : cc_sites_[c]) {
+  for (int site : candidate_sites(cc_id)) {
     std::size_t s = static_cast<std::size_t>(site);
     int cur = serving_cc_[s];
     if (cur < 0 || cc_level_[static_cast<std::size_t>(cur)] < cc_level_[c]) {
@@ -243,11 +302,11 @@ void CostEngine::remove_copy(int cc_id) {
   assignment_.copies.erase(assignment_.copies.begin() + index);
   copy_layer_[c] = -1;
   footprint_.remove_copy(cc_id);
-  for (int site : cc_sites_[c]) {
+  for (int site : candidate_sites(cc_id)) {
     std::size_t s = static_cast<std::size_t>(site);
     if (serving_cc_[s] != cc_id) continue;
     int replacement = -1;
-    for (int other : covering_[s]) {
+    for (int other : covering(s)) {
       if (copy_layer_[static_cast<std::size_t>(other)] >= 0) {
         replacement = other;
         break;
@@ -257,33 +316,49 @@ void CostEngine::remove_copy(int cc_id) {
   }
 }
 
+void CostEngine::set_home(std::size_t array_index, int layer) {
+  assert(array_index < home_.size() && "CostEngine: unknown array id");
+  assert(layer >= 0 && layer < num_layers_ && "CostEngine: home on unknown layer");
+  if (home_[array_index] == layer) return;
+  undo_.push_back({UndoRec::Kind::Home, static_cast<int>(array_index), home_[array_index], 0});
+  home_[array_index] = layer;
+  if (!home_touched_[array_index]) {
+    home_touched_[array_index] = 1;
+    home_touched_list_.push_back(static_cast<int>(array_index));
+  }
+  assignment_dirty_ = true;
+  footprint_.set_home(array_index, layer);
+}
+
 void CostEngine::set_home(const std::string& array, int layer) {
   if (layer < 0 || layer >= num_layers_) {
     throw std::invalid_argument("CostEngine: home on unknown layer " + std::to_string(layer));
   }
-  std::size_t a = array_index(array);
-  if (home_[a] == layer) return;
-  undo_.push_back({UndoRec::Kind::Home, static_cast<int>(a), home_[a], 0});
-  home_[a] = layer;
-  assignment_.array_layer[array_names_[a]] = layer;
-  footprint_.set_home(a, layer);
+  set_home(array_index(array), layer);
 }
 
-int CostEngine::migrate_array(const std::string& array, int layer) {
-  set_home(array, layer);
+int CostEngine::migrate_array(std::size_t array_index, int layer) {
+  set_home(array_index, layer);
   // Same fixpoint as drop_invalid_copies: offenders of one pass are computed
   // against the state entering the pass, then removed together.
   int dropped = 0;
   for (;;) {
-    std::vector<int> offenders;
+    offenders_.clear();
     for (const PlacedCopy& pc : assignment_.copies) {
-      if (pc.layer >= parent_layer(pc.cc_id)) offenders.push_back(pc.cc_id);
+      if (pc.layer >= parent_layer(pc.cc_id)) offenders_.push_back(pc.cc_id);
     }
-    if (offenders.empty()) break;
-    for (int cc : offenders) remove_copy(cc);
-    dropped += static_cast<int>(offenders.size());
+    if (offenders_.empty()) break;
+    for (int cc : offenders_) remove_copy(cc);
+    dropped += static_cast<int>(offenders_.size());
   }
   return dropped;
+}
+
+int CostEngine::migrate_array(const std::string& array, int layer) {
+  if (layer < 0 || layer >= num_layers_) {
+    throw std::invalid_argument("CostEngine: home on unknown layer " + std::to_string(layer));
+  }
+  return migrate_array(array_index(array), layer);
 }
 
 void CostEngine::undo_to(Checkpoint mark) {
@@ -306,7 +381,7 @@ void CostEngine::undo_to(Checkpoint mark) {
         break;
       case UndoRec::Kind::Home:
         home_[static_cast<std::size_t>(rec.a)] = rec.b;
-        assignment_.array_layer[array_names_[static_cast<std::size_t>(rec.a)]] = rec.b;
+        assignment_dirty_ = true;
         footprint_.undo_one();
         break;
     }
@@ -315,7 +390,7 @@ void CostEngine::undo_to(Checkpoint mark) {
 
 int CostEngine::parent_layer(int cc_id) const {
   std::size_t c = static_cast<std::size_t>(cc_id);
-  for (int anc : cc_ancestors_[c]) {
+  for (int anc : ancestors(cc_id)) {
     int layer = copy_layer_[static_cast<std::size_t>(anc)];
     if (layer >= 0) return layer;  // ancestors are level-descending: deepest first
   }
@@ -368,6 +443,142 @@ CostEngine::Totals CostEngine::totals() const {
     }
   }
   return t;
+}
+
+void CostEngine::score_select_candidates(const Objective& objective, const int* cc_ids,
+                                         const int* layers, std::size_t count, double* scalars,
+                                         unsigned char* ok) const {
+  const std::size_t C = cc_level_.size();
+  const std::size_t K = assignment_.copies.size();
+  const std::size_t L = static_cast<std::size_t>(num_layers_);
+  const std::size_t S = site_n_.size();
+
+  // Pass 1 — displacement structure, shared by every slot (independent of
+  // the slot's layer).  For each placed copy, its current parent layer, and
+  // for each unselected ancestor that precedes the copy's first selected
+  // ancestor in the level-descending chain: selecting that ancestor would
+  // re-parent the copy onto the new store (parent_layer walks the same chain
+  // and stops at the first selected entry).
+  scr_parent_.assign(K, 0);
+  scr_desc_max_.assign(C, -1);
+  scr_displaces_.assign(C * K, 0);
+  for (std::size_t k = 0; k < K; ++k) {
+    const PlacedCopy& pc = assignment_.copies[k];
+    int parent = home_[cc_array_[static_cast<std::size_t>(pc.cc_id)]];
+    for (int anc : ancestors(pc.cc_id)) {
+      std::size_t ac = static_cast<std::size_t>(anc);
+      int layer = copy_layer_[ac];
+      if (layer >= 0) {
+        parent = layer;
+        break;
+      }
+      scr_displaces_[ac * K + k] = 1;
+      if (pc.layer > scr_desc_max_[ac]) scr_desc_max_[ac] = pc.layer;
+    }
+    scr_parent_[k] = parent;
+  }
+
+  // Pass 2 — site-major accumulation.  Every slot's (energy, access-cycle)
+  // accumulators receive exactly one addition per site, in site-id order:
+  // the redirected term when the slot's candidate would take over the site
+  // (the same level-strict condition select_copy applies), the live serving
+  // term otherwise.  Per accumulator this is the canonical totals() site
+  // pass, so the doubles match the sequential path bit for bit.
+  scr_stamp_.assign(C, -1);
+  scr_e_.assign(count, 0.0);
+  scr_ac_.assign(count, 0.0);
+  for (std::size_t s = 0; s < S; ++s) {
+    int cur = serving_cc_[s];
+    if (cur >= 0) {
+      int cur_level = cc_level_[static_cast<std::size_t>(cur)];
+      for (int c : covering(s)) {
+        if (cc_level_[static_cast<std::size_t>(c)] <= cur_level) break;  // level-descending
+        scr_stamp_[static_cast<std::size_t>(c)] = static_cast<int>(s);
+      }
+    } else {
+      for (int c : covering(s)) scr_stamp_[static_cast<std::size_t>(c)] = static_cast<int>(s);
+    }
+    const double* se = &site_energy_[s * L];
+    const double* sc = &site_cycles_[s * L];
+    const std::size_t base = static_cast<std::size_t>(serving_layer(s));
+    for (std::size_t m = 0; m < count; ++m) {
+      std::size_t l = scr_stamp_[static_cast<std::size_t>(cc_ids[m])] == static_cast<int>(s)
+                          ? static_cast<std::size_t>(layers[m])
+                          : base;
+      scr_e_[m] += se[l];
+      scr_ac_[m] += sc[l];
+    }
+  }
+
+  // Active pinned terms, hoisted once (homes are untouched by a select):
+  // the exact (energy, cycles) additions totals() performs, in declaration
+  // order.
+  scr_pin_e_.clear();
+  scr_pin_c_.clear();
+  for (std::size_t a = 0; a < array_names_.size(); ++a) {
+    int home = home_[a];
+    if (home == background_) continue;
+    std::size_t idx = a * L + static_cast<std::size_t>(home);
+    if (array_input_[a]) {
+      scr_pin_e_.push_back(pin_fill_energy_[idx]);
+      scr_pin_c_.push_back(pin_fill_cycles_[idx]);
+    }
+    if (array_output_[a]) {
+      scr_pin_e_.push_back(pin_flush_energy_[idx]);
+      scr_pin_c_.push_back(pin_flush_cycles_[idx]);
+    }
+  }
+
+  // Pass 3 — per-slot verdicts and transfer/pinned tails.  Feasibility is
+  // the tracker's exact post-place answer; layering validity reduces to the
+  // two new constraints (pre-move state is layering-valid, the searches'
+  // standing invariant): the new copy sits below its parent store, and
+  // strictly above every copy it would re-parent.  Transfers are folded in
+  // copy-selection order with the new copy last — exactly the order
+  // totals() sees after select_copy's push_back.
+  for (std::size_t m = 0; m < count; ++m) {
+    int cc_id = cc_ids[m];
+    int layer = layers[m];
+    std::size_t c = static_cast<std::size_t>(cc_id);
+    int parent_c = parent_layer(cc_id);
+    bool layering_ok = layer < parent_c && layer > scr_desc_max_[c];
+    if (!layering_ok || !footprint_.feasible_with_copy(cc_id, layer)) {
+      ok[m] = 0;
+      continue;
+    }
+    ok[m] = 1;
+    double e = scr_e_[m];
+    double ac = scr_ac_[m];
+    double tc = 0.0;
+    for (std::size_t k = 0; k < K; ++k) {
+      const PlacedCopy& pc = assignment_.copies[k];
+      std::size_t pcc = static_cast<std::size_t>(pc.cc_id);
+      int src = scr_displaces_[c * K + k] ? layer : scr_parent_[k];
+      std::size_t idx = table_index(pc.cc_id, src, pc.layer);
+      if (!cc_fill_free_[pcc]) {
+        e += fill_energy_[idx];
+        tc += xfer_cycles_[idx];
+      }
+      if (cc_write_back_[pcc]) {
+        e += wb_energy_[idx];
+        tc += xfer_cycles_[idx];
+      }
+    }
+    std::size_t idx = table_index(cc_id, parent_c, layer);
+    if (!cc_fill_free_[c]) {
+      e += fill_energy_[idx];
+      tc += xfer_cycles_[idx];
+    }
+    if (cc_write_back_[c]) {
+      e += wb_energy_[idx];
+      tc += xfer_cycles_[idx];
+    }
+    for (std::size_t p = 0; p < scr_pin_e_.size(); ++p) {
+      e += scr_pin_e_[p];
+      tc += scr_pin_c_[p];
+    }
+    scalars[m] = objective.scalar_terms(e, compute_cycles_ + ac + tc);
+  }
 }
 
 CostEstimate CostEngine::cost() const {

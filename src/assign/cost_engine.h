@@ -8,6 +8,8 @@
 
 #include "assign/cost.h"
 #include "assign/footprint_tracker.h"
+#include "core/arena.h"
+#include "core/span.h"
 
 namespace mhla::assign {
 
@@ -33,6 +35,17 @@ namespace mhla::assign {
 /// Applying or undoing a move costs O(sites covered by the touched candidate)
 /// — O(changed sites + changed transfers), not O(program).
 ///
+/// ## Data layout
+///
+/// The hot paths are allocation-free in steady state and string-free
+/// throughout: array and candidate names are interned into dense integer ids
+/// at construction (the string overloads of `set_home` / `migrate_array` are
+/// setup-time shims that validate and forward to the id overloads), the
+/// site -> covering and candidate -> sites/ancestors maps are flattened into
+/// contiguous offset-indexed arrays (accessors return `core::IntSpan` views),
+/// and the undo journal lives in a reserve-once `core::ArenaStack` that
+/// rewinding never returns to the heap.
+///
 /// ## Exactness contract
 ///
 /// `cost()` / `totals()` / `scalar()` are **bit-identical** to
@@ -57,8 +70,17 @@ class CostEngine {
   void load(const Assignment& assignment);
 
   /// The live assignment the engine mirrors.  Mutated in place by the move
-  /// methods; copy it if you need a snapshot.
-  const Assignment& assignment() const { return assignment_; }
+  /// methods; copy it if you need a snapshot.  The `array_layer` map is
+  /// synced lazily on read (home moves only touch the dense id-indexed
+  /// table); `placed_copies()` is the map-free hot-path view.
+  const Assignment& assignment() const {
+    if (assignment_dirty_) sync_assignment();
+    return assignment_;
+  }
+
+  /// The live placed-copy list, in selection order — the same vector
+  /// `assignment().copies` exposes, without triggering the array_layer sync.
+  const std::vector<PlacedCopy>& placed_copies() const { return assignment_.copies; }
 
   const AssignContext& context() const { return ctx_; }
 
@@ -78,15 +100,26 @@ class CostEngine {
   /// Deselect candidate `cc_id` (must be selected).
   void remove_copy(int cc_id);
 
-  /// Move `array`'s home to `layer` and drop every copy the new home makes
+  /// Move the array's home to `layer` and drop every copy the new home makes
   /// layering-invalid, exactly like `drop_invalid_copies`.  Returns the
   /// number of copies dropped.  The whole compound move rewinds as one unit
   /// via a checkpoint taken before the call.
+  ///
+  /// The id overload is the hot path (debug-asserted arguments only); the
+  /// string overload validates and forwards — setup-time convenience.
+  int migrate_array(std::size_t array_index, int layer);
   int migrate_array(const std::string& array, int layer);
 
   /// Primitive home change without the invalid-copy sweep (exhaustive
-  /// enumeration sets homes before any copy exists).
+  /// enumeration sets homes before any copy exists).  Same id/string split
+  /// as `migrate_array`.
+  void set_home(std::size_t array_index, int layer);
   void set_home(const std::string& array, int layer);
+
+  /// Dense id of a declared array name (throws std::invalid_argument on
+  /// unknown names).  Intern once at setup; move with the id overloads.
+  std::size_t array_id(const std::string& name) const { return array_index(name); }
+  std::size_t num_arrays() const { return array_names_.size(); }
 
   // ------------------------------------------------------------ queries
   bool has_copy(int cc_id) const { return copy_layer_[static_cast<std::size_t>(cc_id)] >= 0; }
@@ -140,6 +173,28 @@ class CostEngine {
     return objective.scalar_terms(t.energy_nj, t.total_cycles());
   }
 
+  /// Batched scoring of one round of select-copy moves.  For each slot `m`,
+  /// decides whether selecting candidate `cc_ids[m]` on `layers[m]` keeps
+  /// the assignment feasible *and* layering-valid (`ok[m]`), and when it
+  /// does, computes the post-move objective scalar into `scalars[m]` —
+  /// bit-identical, slot for slot, to the sequential
+  /// `checkpoint / select_copy / fits() && layering_valid() / scalar() /
+  /// undo_to` cycle.
+  ///
+  /// One site-major pass over the contiguous term tables scores every slot:
+  /// each slot's accumulators receive exactly the additions `totals()` would
+  /// perform after the move, in the same canonical order (sites in id order,
+  /// then transfers in copy order with the new copy last, then pinned arrays
+  /// in declaration order), so the floating-point results match the
+  /// sequential path bit for bit.
+  ///
+  /// Preconditions (the searches' standing invariants): every `cc_ids[m]` is
+  /// a currently unselected candidate, and the live assignment is
+  /// layering-valid.  The engine state is never touched; internal scratch is
+  /// reused across calls, so steady-state calls are allocation-free.
+  void score_select_candidates(const Objective& objective, const int* cc_ids, const int* layers,
+                               std::size_t count, double* scalars, unsigned char* ok) const;
+
   // ------------------------------------------- precomputed term accessors
   // Exposed for the branch-and-bound lower bound in exhaustive_assign: the
   // bound is built from the same cached terms the evaluation uses, so it is
@@ -159,12 +214,17 @@ class CostEngine {
   }
 
   /// Candidate ids covering `site`, deepest (highest level) first.
-  const std::vector<int>& covering(std::size_t site) const { return covering_[site]; }
+  core::IntSpan covering(std::size_t site) const {
+    const int* base = covering_items_.data();
+    return {base + covering_off_[site], base + covering_off_[site + 1]};
+  }
 
   /// Member site ids of candidate `cc_id` (the sites whose serving layer a
   /// selection of the candidate can change).
-  const std::vector<int>& candidate_sites(int cc_id) const {
-    return cc_sites_[static_cast<std::size_t>(cc_id)];
+  core::IntSpan candidate_sites(int cc_id) const {
+    std::size_t c = static_cast<std::size_t>(cc_id);
+    const int* base = cc_sites_items_.data();
+    return {base + cc_sites_off_[c], base + cc_sites_off_[c + 1]};
   }
 
   /// Suffix minima over undecided candidates, for bound tightening in the
@@ -216,9 +276,18 @@ class CostEngine {
            static_cast<std::size_t>(dst);
   }
 
+  core::IntSpan ancestors(int cc_id) const {
+    std::size_t c = static_cast<std::size_t>(cc_id);
+    const int* base = cc_anc_items_.data();
+    return {base + cc_anc_off_[c], base + cc_anc_off_[c + 1]};
+  }
+
   void set_serving(std::size_t site, int cc_id);
   void validate_copy(int cc_id, int layer) const;
   std::size_t array_index(const std::string& name) const;
+  /// Replay every home change since load into assignment_.array_layer —
+  /// writes exactly the entries the eager per-move map writes produced.
+  void sync_assignment() const;
 
   const AssignContext& ctx_;
   int num_layers_ = 0;
@@ -231,13 +300,16 @@ class CostEngine {
   std::vector<std::size_t> site_array_;  ///< site -> array index
   std::vector<double> site_energy_;    ///< [site][layer]
   std::vector<double> site_cycles_;    ///< [site][layer]
-  std::vector<std::vector<int>> covering_;   ///< site -> cc ids, level desc
+  std::vector<int> covering_items_;          ///< site -> cc ids, level desc (CSR)
+  std::vector<std::size_t> covering_off_;    ///< size sites + 1
   std::vector<int> cc_level_;
   std::vector<bool> cc_fill_free_;
   std::vector<bool> cc_write_back_;
   std::vector<i64> cc_elems_moved_;
-  std::vector<std::vector<int>> cc_sites_;     ///< cc -> member site ids
-  std::vector<std::vector<int>> cc_ancestors_; ///< cc -> ancestor ids, level desc
+  std::vector<int> cc_sites_items_;          ///< cc -> member site ids (CSR)
+  std::vector<std::size_t> cc_sites_off_;    ///< size candidates + 1
+  std::vector<int> cc_anc_items_;            ///< cc -> ancestor ids, level desc (CSR)
+  std::vector<std::size_t> cc_anc_off_;      ///< size candidates + 1
   std::vector<std::size_t> cc_array_;          ///< cc -> array index
   std::vector<double> fill_energy_;    ///< [cc][src][dst]
   std::vector<double> wb_energy_;      ///< [cc][src][dst]
@@ -245,7 +317,7 @@ class CostEngine {
   std::vector<double> site_suffix_e_;  ///< [site][next_cc] suffix minima
   std::vector<double> site_suffix_c_;  ///< [site][next_cc]
   std::vector<std::string> array_names_;          ///< array index -> name
-  std::map<std::string, std::size_t> array_index_;
+  std::map<std::string, std::size_t> array_index_;  ///< setup-time interning only
   std::vector<bool> array_input_;
   std::vector<bool> array_output_;
   std::vector<i64> array_elems_;
@@ -255,12 +327,30 @@ class CostEngine {
   std::vector<double> pin_flush_cycles_;  ///< [array][home]
 
   // ---- incremental state
-  Assignment assignment_;
+  /// The copies vector is maintained eagerly (selection order is the
+  /// canonical transfer order); array_layer is synced lazily from home_ on
+  /// `assignment()` reads, hence mutable together with the dirty flag.
+  mutable Assignment assignment_;
+  mutable bool assignment_dirty_ = false;
+  std::vector<char> home_touched_;      ///< array changed home since load()
+  std::vector<int> home_touched_list_;
   std::vector<int> copy_layer_;   ///< cc -> layer or -1
   std::vector<int> serving_cc_;   ///< site -> deepest selected covering cc or -1
   std::vector<int> home_;         ///< array index -> home layer
-  std::vector<UndoRec> undo_;
+  core::ArenaStack<UndoRec> undo_;
+  std::vector<int> offenders_;    ///< migrate_array fixpoint scratch
   FootprintTracker footprint_;    ///< usage matrix, mirrored move for move
+
+  // ---- batched-scoring scratch (sized once at construction, reused per
+  // call; mutable because scoring is logically const)
+  mutable std::vector<int> scr_stamp_;            ///< cc -> site currently marking it affected
+  mutable std::vector<int> scr_desc_max_;         ///< cc -> deepest displaced-copy layer
+  mutable std::vector<int> scr_parent_;           ///< placed-copy slot -> current parent layer
+  mutable std::vector<unsigned char> scr_displaces_;  ///< [cc][placed-copy slot]
+  mutable std::vector<double> scr_e_;             ///< per-slot energy accumulator
+  mutable std::vector<double> scr_ac_;            ///< per-slot access-cycle accumulator
+  mutable std::vector<double> scr_pin_e_;         ///< active pinned terms, declaration order
+  mutable std::vector<double> scr_pin_c_;
 };
 
 }  // namespace mhla::assign

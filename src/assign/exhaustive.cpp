@@ -254,14 +254,25 @@ struct EngineSearch {
   /// sorted (array, nest, level) the deepest chain member usually carries
   /// the minimum, so for most candidates this list is empty and the
   /// per-node tightening costs nothing; a site whose last useful candidate
-  /// dies mid-chain tightens the moment it does.
-  std::vector<std::vector<int>> tighten_at_;
+  /// dies mid-chain tightens the moment it does.  CSR-flattened (items +
+  /// offsets) so per-worker copies are two contiguous blocks.
+  std::vector<int> tighten_items_;
+  std::vector<std::size_t> tighten_off_;
+  core::IntSpan tighten_at(std::size_t j) const {
+    const int* base = tighten_items_.data();
+    return {base + tighten_off_[j], base + tighten_off_[j + 1]};
+  }
   /// Per-site optimistic term before the array's home is decided: min over
   /// the homes the DFS may choose (background always qualifies) and over
   /// the copy suffix minima — the array-home-phase part of the bound.
   std::vector<double> site_open_e_;
   std::vector<double> site_open_c_;
-  std::vector<std::vector<int>> array_sites_;  ///< array index -> site ids
+  std::vector<int> array_sites_items_;  ///< array index -> site ids (CSR)
+  std::vector<std::size_t> array_sites_off_;
+  core::IntSpan array_sites(std::size_t a) const {
+    const int* base = array_sites_items_.data();
+    return {base + array_sites_off_[a], base + array_sites_off_[a + 1]};
+  }
   // -- per copy phase --
   std::vector<double> site_lb_e_;  ///< current per-site bound contribution
   std::vector<double> site_lb_c_;
@@ -353,14 +364,15 @@ struct EngineSearch {
   }
 
   /// Backtracking journal for the per-site bound contributions; tighten
-  /// pushes the displaced values, restore pops to a mark.  One flat stack
-  /// keeps the hot path allocation-free after warmup.
+  /// pushes the displaced values, restore pops to a mark.  An arena stack
+  /// reserved for the deepest possible DFS path (every tighten list fully
+  /// pushed at once) keeps the hot path allocation-free outright.
   struct SavedSite {
     int site;
     double e;
     double c;
   };
-  std::vector<SavedSite> saved_sites_;
+  core::ArenaStack<SavedSite> saved_sites_;
 
   EngineSearch(const AssignContext& c, const ExhaustiveOptions& o)
       : ctx(c),
@@ -397,27 +409,43 @@ struct EngineSearch {
       }
     }
 
-    tighten_at_.assign(C, {});
+    // Both per-index site lists are built row by row and flattened to CSR:
+    // tighten lists directly into the flat arrays (candidate order), the
+    // array->sites map via a counting sort over the site->array table.
+    tighten_off_.assign(C + 1, 0);
+    tighten_items_.clear();
     for (std::size_t c = 0; c < C; ++c) {
       for (int site : engine.candidate_sites(static_cast<int>(c))) {
         std::size_t s = static_cast<std::size_t>(site);
         if (engine.site_suffix_energy(s, c + 1) != engine.site_suffix_energy(s, c) ||
             engine.site_suffix_cycles(s, c + 1) != engine.site_suffix_cycles(s, c)) {
-          tighten_at_[c].push_back(site);
+          tighten_items_.push_back(site);
         }
       }
+      tighten_off_[c + 1] = tighten_items_.size();
     }
+    // The deepest DFS path pushes every tighten list at most once, so the
+    // flat item count bounds the journal depth exactly.
+    saved_sites_.reserve(tighten_items_.size());
 
     const auto& arrays = ctx.program.arrays();
-    array_sites_.assign(arrays.size(), {});
-    for (std::size_t s = 0; s < S; ++s) {
-      array_sites_[engine.site_array(s)].push_back(static_cast<int>(s));
+    array_sites_off_.assign(arrays.size() + 1, 0);
+    for (std::size_t s = 0; s < S; ++s) ++array_sites_off_[engine.site_array(s) + 1];
+    for (std::size_t a = 0; a < arrays.size(); ++a) {
+      array_sites_off_[a + 1] += array_sites_off_[a];
+    }
+    array_sites_items_.assign(S, 0);
+    {
+      std::vector<std::size_t> cursor(array_sites_off_.begin(), array_sites_off_.end() - 1);
+      for (std::size_t s = 0; s < S; ++s) {
+        array_sites_items_[cursor[engine.site_array(s)]++] = static_cast<int>(s);
+      }
     }
     site_open_e_.assign(S, inf);
     site_open_c_.assign(S, inf);
     for (std::size_t a = 0; a < arrays.size(); ++a) {
       for_each_feasible_home(ctx, arrays[a], options.allow_array_migration, [&](int home) {
-        for (int site : array_sites_[a]) {
+        for (int site : array_sites(a)) {
           std::size_t s = static_cast<std::size_t>(site);
           site_open_e_[s] = std::min(site_open_e_[s], engine.site_energy_term(s, home));
           site_open_c_[s] = std::min(site_open_c_[s], engine.site_cycle_term(s, home));
@@ -504,7 +532,7 @@ struct EngineSearch {
   /// that is merely a weaker admissible bound, and spawn/replay tighten at
   /// identical steps either way.
   void tighten_sites(std::size_t j, Bound& bound) {
-    for (int site : tighten_at_[j]) {
+    for (int site : tighten_at(j)) {
       std::size_t s = static_cast<std::size_t>(site);
       int layer = engine.serving_layer(s);
       double e = std::min(engine.site_energy_term(s, layer), suffix_e(s, j + 1));
@@ -712,7 +740,7 @@ struct EngineSearch {
   void apply_home_to_bound(std::size_t a, int home, Bound& bound) {
     bound.exact_e += engine.pinned_energy_term(a, home);
     bound.exact_c += engine.pinned_cycle_term(a, home);
-    for (int site : array_sites_[a]) {
+    for (int site : array_sites(a)) {
       std::size_t s = static_cast<std::size_t>(site);
       double e = std::min(engine.site_energy_term(s, home), engine.site_suffix_energy(s, 0));
       double c = std::min(engine.site_cycle_term(s, home), engine.site_suffix_cycles(s, 0));
@@ -750,7 +778,7 @@ struct EngineSearch {
         int first = home_ordinal_layer(index, 0);
         cur_path_[index] = 0;
         CostEngine::Checkpoint cp = engine.checkpoint();
-        engine.set_home(array.name, first);
+        engine.set_home(index, first);
         Bound child = bound;
         apply_home_to_bound(index, first, child);
         recurse_arrays(index + 1, child);
@@ -763,7 +791,7 @@ struct EngineSearch {
       if (ws_mode) cur_path_[index] = ordinal;
       ++ordinal;
       CostEngine::Checkpoint cp = engine.checkpoint();
-      engine.set_home(array.name, layer);
+      engine.set_home(index, layer);
       Bound child = bound;
       if (bnb) apply_home_to_bound(index, layer, child);
       recurse_arrays(index + 1, child);
@@ -825,7 +853,7 @@ struct EngineSearch {
     std::size_t homes = std::min(prefix.size(), A);
     for (std::size_t a = 0; a < homes; ++a) {
       cur_path_[a] = prefix[a];
-      engine.set_home(arrays[a].name, home_ordinal_layer(a, prefix[a]));
+      engine.set_home(a, home_ordinal_layer(a, prefix[a]));
     }
     if (prefix.size() < A) {
       Bound bound;
@@ -974,13 +1002,12 @@ ExhaustiveResult exhaustive_parallel_static(const AssignContext& ctx,
     bool ran = false;  ///< false when the budget expired before the task started
   };
   std::vector<TaskOutcome> outcomes(tasks.size());
-  const auto& arrays = ctx.program.arrays();
   core::parallel_for(tasks.size(), threads, [&](std::size_t t) {
     obs::Span span("bnb_task", "search");
     EngineSearch search(prototype);
     search.shared_incumbent = &incumbent;
     for (std::size_t a = 0; a < tasks[t].size(); ++a) {
-      search.engine.set_home(arrays[a].name, tasks[t][a]);
+      search.engine.set_home(a, tasks[t][a]);
     }
     search.run(tasks[t].size());
     outcomes[t] = {std::move(search.best),      search.best_scalar,

@@ -1,6 +1,7 @@
 #include "assign/footprint_tracker.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 #include <stdexcept>
 
@@ -46,6 +47,10 @@ FootprintTracker::FootprintTracker(const AssignContext& ctx, const Assignment& a
     cc_nest_[c] = cc.nest;
     cc_bytes_[c] = cc.bytes;
   }
+
+  // Size the undo arena so steady-state move/undo traffic (searches, TE
+  // freedom-unit loops, work-stealing engine reuse) never regrows it.
+  undo_.reserve(64 + 4 * candidates.size() + 2 * arrays.size());
 
   load(assignment, extensions);
 }
@@ -181,14 +186,16 @@ void FootprintTracker::remove_copy(int cc_id) {
 }
 
 void FootprintTracker::set_home(const std::string& array, int layer) {
-  set_home(array_index(array), layer);
-}
-
-void FootprintTracker::set_home(std::size_t array_index, int layer) {
   if (layer < 0 || layer >= num_layers_) {
     throw std::invalid_argument("FootprintTracker: home on unknown layer " +
                                 std::to_string(layer));
   }
+  set_home(array_index(array), layer);
+}
+
+void FootprintTracker::set_home(std::size_t array_index, int layer) {
+  assert(array_index < home_.size() && "FootprintTracker: unknown array id");
+  assert(layer >= 0 && layer < num_layers_ && "FootprintTracker: home on unknown layer");
   if (home_[array_index] == layer) return;
   undo_.push_back({UndoRec::Kind::Home, static_cast<int>(array_index), home_[array_index], 0, 0});
   apply_array(array_index, home_[array_index], -1);
@@ -240,6 +247,24 @@ void FootprintTracker::undo_one() {
 
 void FootprintTracker::undo_to(Checkpoint mark) {
   while (undo_.size() > mark) undo_one();
+}
+
+bool FootprintTracker::feasible_with_copy(int cc_id, int layer) const {
+  std::size_t c = static_cast<std::size_t>(cc_id);
+  assert(cc_id >= 0 && c < cc_nest_.size() && "FootprintTracker: unknown copy candidate id");
+  assert(layer >= 0 && layer < num_layers_ && "FootprintTracker: copy placed on unknown layer");
+  long over = overfull_cells_;
+  int nest = cc_nest_[c];
+  // Mirrors apply_copy with no extension: exactly one cell — (layer, own
+  // nest) — gains the copy's bytes, when that nest exists at all.
+  if (nest >= 0 && nest < num_nests_) {
+    i64 capacity = layer_capacity_[static_cast<std::size_t>(layer)];
+    if (capacity > 0) {
+      i64 cell = usage(layer, nest);
+      over += static_cast<long>(cell + cc_bytes_[c] > capacity) - static_cast<long>(cell > capacity);
+    }
+  }
+  return over == 0;
 }
 
 i64 FootprintTracker::peak(int layer) const {

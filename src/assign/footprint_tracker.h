@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "assign/inplace.h"
+#include "core/arena.h"
 
 namespace mhla::assign {
 
@@ -81,6 +82,8 @@ class FootprintTracker {
   void remove_copy(int cc_id);
 
   /// Move `array`'s home row; no-op (and no undo record) when unchanged.
+  /// The id overload is the hot path — arguments are debug-asserted only;
+  /// the string overload validates both name and layer and forwards.
   void set_home(const std::string& array, int layer);
   void set_home(std::size_t array_index, int layer);
 
@@ -97,6 +100,13 @@ class FootprintTracker {
   i64 usage(int layer, int nest) const {
     return usage_[static_cast<std::size_t>(layer) * row_ + static_cast<std::size_t>(nest)];
   }
+
+  /// Exact feasibility of the state `place_copy(cc_id, layer)` would reach,
+  /// answered without mutating anything: an unextended placement touches a
+  /// single (layer, own-nest) cell, so the post-move overfull count is the
+  /// live count plus that one cell's transition.  Lets batched scorers probe
+  /// a whole round of placements against the live matrix.
+  bool feasible_with_copy(int cc_id, int layer) const;
 
   /// Peak of one layer over the time axis (O(nests), for reporting).
   i64 peak(int layer) const;
@@ -170,7 +180,7 @@ class FootprintTracker {
   std::vector<int> cc_layer_;     ///< cc -> layer or -1
   std::vector<int> cc_ext_start_; ///< cc -> extension start nest or -1
   std::vector<int> cc_ext_buffers_;  ///< cc -> extra buffers
-  std::vector<UndoRec> undo_;
+  core::ArenaStack<UndoRec> undo_;
 };
 
 }  // namespace mhla::assign

@@ -156,6 +156,11 @@ GreedyResult greedy_assign_reference(const AssignContext& ctx, const GreedyOptio
 /// Engine path: identical move enumeration, scoring and tie-breaking, but
 /// every candidate is applied to the engine, scored from cached terms, and
 /// undone — no per-candidate assignment copy, no per-candidate resolve.
+/// The whole walk is id-based and allocation-free in steady state: arrays
+/// and candidates move by dense index, the best move of a round is tracked
+/// as PODs (its name materialized once on acceptance), and with
+/// `batched_scoring` the select-copy moves of each round are scored in one
+/// pass over the engine's contiguous term tables.
 GreedyResult greedy_assign_engine(const AssignContext& ctx, const GreedyOptions& options) {
   obs::Span span("greedy_walk", "search");
   GreedyResult result;
@@ -166,6 +171,8 @@ GreedyResult greedy_assign_engine(const AssignContext& ctx, const GreedyOptions&
   result.evaluations = 1;
 
   int background = ctx.hierarchy.background();
+  const auto& arrays = ctx.program.arrays();
+  const auto& candidates = ctx.reuse.candidates();
 
   // Identical probe points to the reference path (see there); charged
   // before each candidate's checkpoint/apply, so expiry never leaves a
@@ -182,68 +189,126 @@ GreedyResult greedy_assign_engine(const AssignContext& ctx, const GreedyOptions&
     return !cancelled;
   };
 
-  for (int accepted = 0; accepted < options.max_moves && !cancelled; ++accepted) {
-    std::optional<GreedyMove> best;
-    double best_per_byte = 0.0;
+  /// Round-best move as plain ids; `array` is meaningful for MigrateArray.
+  struct Best {
+    GreedyMove::Kind kind = GreedyMove::Kind::SelectCopy;
+    int cc_id = -1;
+    std::size_t array = 0;
+    int layer = -1;
+    double gain = 0.0;
+    double per_byte = 0.0;
+    bool valid = false;
+  };
 
-    // The candidate move is already applied to the engine when this runs;
-    // it inspects the engine state and is followed by an undo.
-    auto consider = [&](GreedyMove move) {
-      bool feasible = options.use_footprint_tracker ? engine.fits()
-                                                    : fits(ctx, engine.assignment());
-      if (!feasible) return;
-      if (move.kind == GreedyMove::Kind::SelectCopy && !engine.layering_valid()) return;
-      double scalar = engine.scalar(objective);
+  // Batched-scoring slot arrays, sized once and reused round over round.
+  std::vector<int> slot_cc;
+  std::vector<int> slot_layer;
+  std::vector<i64> slot_bytes;
+  std::vector<double> slot_scalar;
+  std::vector<unsigned char> slot_ok;
+  if (options.batched_scoring) {
+    std::size_t max_slots =
+        candidates.size() * static_cast<std::size_t>(std::max(background, 1));
+    slot_cc.reserve(max_slots);
+    slot_layer.reserve(max_slots);
+    slot_bytes.reserve(max_slots);
+    slot_scalar.reserve(max_slots);
+    slot_ok.reserve(max_slots);
+  }
+
+  for (int accepted = 0; accepted < options.max_moves && !cancelled; ++accepted) {
+    Best best;
+
+    // A move that passed its feasibility/validity gates, with its post-move
+    // scalar: count the evaluation, keep it when it wins the per-byte race
+    // (strict — the first of equals wins, matching the reference path).
+    auto offer = [&](GreedyMove::Kind kind, int cc_id, std::size_t array, int layer,
+                     double scalar, i64 bytes) {
       ++result.evaluations;
       double gain = current_scalar - scalar;
       if (gain <= 1e-12) return;
-      double per_byte = gain / static_cast<double>(std::max<i64>(claimed_bytes(ctx, move), 1));
-      move.gain = gain;
-      move.gain_per_byte = per_byte;
-      if (!best || per_byte > best_per_byte) {
-        best_per_byte = per_byte;
-        best = std::move(move);
+      double per_byte = gain / static_cast<double>(std::max<i64>(bytes, 1));
+      if (!best.valid || per_byte > best.per_byte) {
+        best = {kind, cc_id, array, layer, gain, per_byte, true};
       }
     };
 
+    // The candidate move is already applied to the engine when this runs;
+    // it inspects the engine state and is followed by an undo.
+    auto consider_applied = [&](GreedyMove::Kind kind, int cc_id, std::size_t array, int layer,
+                                i64 bytes) {
+      bool feasible = options.use_footprint_tracker ? engine.fits()
+                                                    : fits(ctx, engine.assignment());
+      if (!feasible) return;
+      if (kind == GreedyMove::Kind::SelectCopy && !engine.layering_valid()) return;
+      offer(kind, cc_id, array, layer, engine.scalar(objective), bytes);
+    };
+
     // Move type 1: select an unselected copy candidate onto an on-chip layer.
-    for (const analysis::CopyCandidate& cc : ctx.reuse.candidates()) {
-      if (cancelled) break;
-      if (engine.has_copy(cc.id)) continue;
-      if (cc.elems <= 0) continue;
-      for (int layer = 0; layer < background; ++layer) {
-        if (!probe()) break;
-        const mem::MemLayer& target = ctx.hierarchy.layer(layer);
-        if (!target.unbounded() && cc.bytes > target.capacity_bytes) continue;
-        CostEngine::Checkpoint cp = engine.checkpoint();
-        engine.select_copy(cc.id, layer);
-        GreedyMove move;
-        move.kind = GreedyMove::Kind::SelectCopy;
-        move.cc_id = cc.id;
-        move.layer = layer;
-        consider(std::move(move));
-        engine.undo_to(cp);
+    if (options.batched_scoring) {
+      // Identical enumeration (and probe charges) to the sequential loop,
+      // collected into slots; one engine pass scores them all.  When the
+      // budget expires mid-enumeration the collected prefix is exactly the
+      // set the sequential loop scored before expiry, so evaluation counts
+      // stay identical — the round itself is abandoned below either way.
+      slot_cc.clear();
+      slot_layer.clear();
+      slot_bytes.clear();
+      for (const analysis::CopyCandidate& cc : candidates) {
+        if (cancelled) break;
+        if (engine.has_copy(cc.id)) continue;
+        if (cc.elems <= 0) continue;
+        for (int layer = 0; layer < background; ++layer) {
+          if (!probe()) break;
+          const mem::MemLayer& target = ctx.hierarchy.layer(layer);
+          if (!target.unbounded() && cc.bytes > target.capacity_bytes) continue;
+          slot_cc.push_back(cc.id);
+          slot_layer.push_back(layer);
+          slot_bytes.push_back(cc.bytes);
+        }
+      }
+      if (!slot_cc.empty()) {
+        slot_scalar.resize(slot_cc.size());
+        slot_ok.resize(slot_cc.size());
+        engine.score_select_candidates(objective, slot_cc.data(), slot_layer.data(),
+                                       slot_cc.size(), slot_scalar.data(), slot_ok.data());
+        for (std::size_t m = 0; m < slot_cc.size(); ++m) {
+          if (!slot_ok[m]) continue;
+          offer(GreedyMove::Kind::SelectCopy, slot_cc[m], 0, slot_layer[m], slot_scalar[m],
+                slot_bytes[m]);
+        }
+      }
+    } else {
+      for (const analysis::CopyCandidate& cc : candidates) {
+        if (cancelled) break;
+        if (engine.has_copy(cc.id)) continue;
+        if (cc.elems <= 0) continue;
+        for (int layer = 0; layer < background; ++layer) {
+          if (!probe()) break;
+          const mem::MemLayer& target = ctx.hierarchy.layer(layer);
+          if (!target.unbounded() && cc.bytes > target.capacity_bytes) continue;
+          CostEngine::Checkpoint cp = engine.checkpoint();
+          engine.select_copy(cc.id, layer);
+          consider_applied(GreedyMove::Kind::SelectCopy, cc.id, 0, layer, cc.bytes);
+          engine.undo_to(cp);
+        }
       }
     }
 
     // Move type 2: migrate an array's home layer (drops invalidated copies
     // as part of the compound move, all rewound by one checkpoint).
     if (options.allow_array_migration) {
-      for (const ir::ArrayDecl& array : ctx.program.arrays()) {
+      for (std::size_t a = 0; a < arrays.size(); ++a) {
         if (cancelled) break;
-        int home = engine.assignment().layer_of(array.name, background);
+        int home = engine.home_of(a);
         for (int layer = 0; layer < ctx.hierarchy.num_layers(); ++layer) {
           if (!probe()) break;
           if (layer == home) continue;
           const mem::MemLayer& target = ctx.hierarchy.layer(layer);
-          if (!target.unbounded() && array.bytes() > target.capacity_bytes) continue;
+          if (!target.unbounded() && arrays[a].bytes() > target.capacity_bytes) continue;
           CostEngine::Checkpoint cp = engine.checkpoint();
-          engine.migrate_array(array.name, layer);
-          GreedyMove move;
-          move.kind = GreedyMove::Kind::MigrateArray;
-          move.array = array.name;
-          move.layer = layer;
-          consider(std::move(move));
+          engine.migrate_array(a, layer);
+          consider_applied(GreedyMove::Kind::MigrateArray, -1, a, layer, arrays[a].bytes());
           engine.undo_to(cp);
         }
       }
@@ -251,33 +316,37 @@ GreedyResult greedy_assign_engine(const AssignContext& ctx, const GreedyOptions&
 
     // Move type 3: deselect a copy.  Indexed loop: apply/undo restores the
     // copies vector exactly, so positions stay stable across iterations.
-    for (std::size_t i = 0; i < engine.assignment().copies.size(); ++i) {
+    for (std::size_t i = 0; i < engine.placed_copies().size(); ++i) {
       if (!probe()) break;
-      PlacedCopy pc = engine.assignment().copies[i];
+      PlacedCopy pc = engine.placed_copies()[i];
       CostEngine::Checkpoint cp = engine.checkpoint();
       engine.remove_copy(pc.cc_id);
-      GreedyMove move;
-      move.kind = GreedyMove::Kind::RemoveCopy;
-      move.cc_id = pc.cc_id;
-      move.layer = pc.layer;
-      consider(std::move(move));
+      consider_applied(GreedyMove::Kind::RemoveCopy, pc.cc_id, 0, pc.layer, 1);
       engine.undo_to(cp);
     }
 
-    if (cancelled || !best) break;
-    switch (best->kind) {
+    if (cancelled || !best.valid) break;
+    GreedyMove move;
+    move.kind = best.kind;
+    move.layer = best.layer;
+    move.gain = best.gain;
+    move.gain_per_byte = best.per_byte;
+    switch (best.kind) {
       case GreedyMove::Kind::SelectCopy:
-        engine.select_copy(best->cc_id, best->layer);
+        move.cc_id = best.cc_id;
+        engine.select_copy(best.cc_id, best.layer);
         break;
       case GreedyMove::Kind::MigrateArray:
-        engine.migrate_array(best->array, best->layer);
+        move.array = arrays[best.array].name;
+        engine.migrate_array(best.array, best.layer);
         break;
       case GreedyMove::Kind::RemoveCopy:
-        engine.remove_copy(best->cc_id);
+        move.cc_id = best.cc_id;
+        engine.remove_copy(best.cc_id);
         break;
     }
-    current_scalar -= best->gain;
-    result.moves.push_back(std::move(*best));
+    current_scalar -= best.gain;
+    result.moves.push_back(std::move(move));
   }
 
   result.assignment = engine.assignment();

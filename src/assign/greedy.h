@@ -27,6 +27,15 @@ struct GreedyOptions {
   /// for the equivalence tests and the search_scaling feasibility bench.
   bool use_footprint_tracker = true;
 
+  /// Engine path only: score each round's select-copy moves in one batched
+  /// pass over the engine's contiguous term tables
+  /// (`CostEngine::score_select_candidates`) instead of a
+  /// checkpoint/apply/undo cycle per candidate.  Per-slot accumulation
+  /// preserves the canonical summation order, so every score, verdict, probe
+  /// point, and tie-break — hence the whole walk — is bit-identical; the
+  /// toggle exists for the equivalence tests and the search_scaling bench.
+  bool batched_scoring = true;
+
   /// Cooperative run budget: one probe is charged per scored candidate.
   /// When the budget expires the search stops before applying the next
   /// move, so the returned assignment is always the consistent state after

@@ -72,6 +72,7 @@ GreedyOptions to_greedy_options(const SearchOptions& options) {
   greedy.allow_array_migration = options.allow_array_migration;
   greedy.use_cost_engine = options.use_cost_engine;
   greedy.use_footprint_tracker = options.use_footprint_tracker;
+  greedy.batched_scoring = options.greedy_batched_scoring;
   greedy.budget = options.budget;
   greedy.shared_budget = options.shared_budget;
   return greedy;

@@ -66,6 +66,13 @@ struct SearchOptions {
   /// the reference path for the equivalence tests.
   bool use_footprint_tracker = true;
 
+  /// Score each greedy round's select-copy moves in one batched pass over
+  /// the engine's contiguous term tables instead of a checkpoint/apply/undo
+  /// cycle per candidate (see GreedyOptions::batched_scoring).  Per-slot
+  /// accumulation preserves the canonical summation order, so the walk is
+  /// bit-identical; off is the reference path for the equivalence tests.
+  bool greedy_batched_scoring = true;
+
   /// Filter the branch-and-bound copy-phase bound tables by the tracker's
   /// homes-only per-nest headroom at each copy-phase entry (see
   /// ExhaustiveOptions::use_footprint_bound).  Strictly tightens pruning;

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+namespace mhla::core {
+
+/// Reserve-once stack for trivially-copyable records — the backing store of
+/// the engines' undo journals and the branch-and-bound site journal.
+///
+/// The hot loops push and pop journal records on every speculative move;
+/// with a std::vector the journal reaches its high-water capacity quickly,
+/// but nothing *guarantees* the steady state stays off the heap, and a
+/// cleared vector forgets nothing about how it got sized.  ArenaStack makes
+/// the discipline explicit:
+///
+///  * `reserve(n)` once at setup sizes the arena for the expected journal
+///    depth; every later push/pop is a store/load into the same block,
+///  * popping (or `clear()`) never releases memory, so engine reuse —
+///    work-stealing workers rewinding to `undo_to(0)` between tasks, anneal
+///    checkpoints, greedy rounds — runs allocation-free indefinitely,
+///  * an overflowing push still works (geometric regrowth), but each
+///    regrowth is counted: `regrowths()` lets the allocation-regression
+///    tests assert the setup reservation actually covered the workload.
+///
+/// T must be trivially copyable: growth and copies are memcpy, destruction
+/// is free, and pop is a size decrement.
+template <typename T>
+class ArenaStack {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "ArenaStack records must be trivially copyable");
+
+ public:
+  ArenaStack() = default;
+
+  ArenaStack(const ArenaStack& other) { *this = other; }
+  ArenaStack& operator=(const ArenaStack& other) {
+    if (this == &other) return *this;
+    if (capacity_ < other.size_) {
+      data_ = std::make_unique<T[]>(other.capacity_);
+      capacity_ = other.capacity_;
+    }
+    size_ = other.size_;
+    if (size_ > 0) std::memcpy(data_.get(), other.data_.get(), size_ * sizeof(T));
+    return *this;
+  }
+  ArenaStack(ArenaStack&&) noexcept = default;
+  ArenaStack& operator=(ArenaStack&&) noexcept = default;
+
+  /// Grow the arena to at least `capacity` records (never shrinks).  Setup
+  /// time only; does not count as a regrowth.
+  void reserve(std::size_t capacity) {
+    if (capacity > capacity_) grow_to(capacity);
+  }
+
+  void push_back(const T& record) {
+    if (size_ == capacity_) {
+      grow_to(capacity_ < 16 ? 32 : capacity_ * 2);
+      ++regrowths_;
+    }
+    data_[size_++] = record;
+  }
+
+  void pop_back() { --size_; }
+  const T& back() const { return data_[size_ - 1]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& operator[](std::size_t i) { return data_[i]; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Drop every record, keeping the arena block for reuse.
+  void clear() { size_ = 0; }
+
+  /// Number of pushes that outgrew the reservation since construction.  A
+  /// correctly sized arena reports 0 after any amount of steady-state work.
+  long regrowths() const { return regrowths_; }
+
+ private:
+  void grow_to(std::size_t capacity) {
+    if (capacity <= capacity_) return;
+    auto grown = std::make_unique<T[]>(capacity);
+    // size_ <= capacity_ < capacity always holds; the min keeps the bound
+    // visible to the compiler's overflow analysis.
+    std::size_t count = size_ < capacity ? size_ : capacity;
+    if (count > 0) std::memcpy(grown.get(), data_.get(), count * sizeof(T));
+    data_ = std::move(grown);
+    capacity_ = capacity;
+  }
+
+  std::unique_ptr<T[]> data_;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+  long regrowths_ = 0;
+};
+
+}  // namespace mhla::core

@@ -291,6 +291,7 @@ std::string to_json(const PipelineConfig& config, int indent) {
       << ", \"use_cost_engine\": " << bool_text(search.use_cost_engine)
       << ", \"use_branch_and_bound\": " << bool_text(search.use_branch_and_bound)
       << ", \"use_footprint_tracker\": " << bool_text(search.use_footprint_tracker)
+      << ", \"greedy_batched_scoring\": " << bool_text(search.greedy_batched_scoring)
       << ", \"use_footprint_bound\": " << bool_text(search.use_footprint_bound)
       << ",\n" << p1 << "             \"anneal_iterations\": " << search.anneal_iterations
       << ", \"anneal_seed\": " << search.anneal_seed
@@ -371,6 +372,7 @@ PipelineConfig pipeline_config_from_json(const std::string& text) {
                    .field("use_cost_engine", search.use_cost_engine, as_bool)
                    .field("use_branch_and_bound", search.use_branch_and_bound, as_bool)
                    .field("use_footprint_tracker", search.use_footprint_tracker, as_bool)
+                   .field("greedy_batched_scoring", search.greedy_batched_scoring, as_bool)
                    .field("use_footprint_bound", search.use_footprint_bound, as_bool)
                    .field("anneal_iterations", search.anneal_iterations, as_int)
                    .field("anneal_seed", search.anneal_seed, as_integer<std::uint32_t>)

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+
+namespace mhla::core {
+
+/// Borrowed view of a contiguous run of const T — the accessor type for the
+/// flattened (CSR-style) jagged tables: one flat item array plus an offset
+/// array per outer index, viewed row by row.  Deliberately minimal (no
+/// std::span dependency pinned to a library level): pointer pair, range-for,
+/// size, indexing.  Never owns; valid only while the backing array lives and
+/// is not reallocated.
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(const T* first, const T* last) : first_(first), last_(last) {}
+
+  const T* begin() const { return first_; }
+  const T* end() const { return last_; }
+  std::size_t size() const { return static_cast<std::size_t>(last_ - first_); }
+  bool empty() const { return first_ == last_; }
+  const T& operator[](std::size_t i) const { return first_[i]; }
+  const T& front() const { return *first_; }
+  const T& back() const { return *(last_ - 1); }
+
+ private:
+  const T* first_ = nullptr;
+  const T* last_ = nullptr;
+};
+
+using IntSpan = Span<int>;
+
+}  // namespace mhla::core

@@ -75,6 +75,8 @@ TeResult time_extend(const assign::AssignContext& ctx, const assign::Assignment&
     return !out_of_budget;
   };
 
+  // Hoisted out of the BT loop so its buffer is allocated once and reused.
+  std::vector<FreedomUnit> units;
   for (std::size_t index : order_indices(bts, options.order)) {
     if (!probe()) break;
     const BlockTransfer& bt = bts[index];
@@ -86,7 +88,7 @@ TeResult time_extend(const assign::AssignContext& ctx, const assign::Assignment&
     int producer = ctx.deps.producer_before(cc.array, bt.nest);
 
     // Build the freedom-unit list, nearest extension first.
-    std::vector<FreedomUnit> units;
+    units.clear();
     if (bt.level > 0) {
       // Iteration lookahead across the carrying loop: unit k prefetches
       // iteration i+k during iteration i; each step costs one extra buffer

@@ -1,0 +1,116 @@
+// ArenaStack: the reserve-once, trivially-copyable journal backing the
+// CostEngine/FootprintTracker undo logs and the DFS saved-site stack.
+
+#include "core/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace mhla::core {
+namespace {
+
+struct Rec {
+  int kind = 0;
+  int a = 0;
+  int b = 0;
+};
+
+TEST(Arena, PushPopBackAndIndexing) {
+  ArenaStack<Rec> stack;
+  EXPECT_TRUE(stack.empty());
+  EXPECT_EQ(stack.size(), 0u);
+
+  stack.push_back({1, 10, 100});
+  stack.push_back({2, 20, 200});
+  stack.push_back({3, 30, 300});
+  EXPECT_EQ(stack.size(), 3u);
+  EXPECT_EQ(stack.back().kind, 3);
+  EXPECT_EQ(stack[0].a, 10);
+  EXPECT_EQ(stack[1].b, 200);
+
+  stack.back().b = 999;  // mutable access, like journal patch-ups
+  EXPECT_EQ(stack[2].b, 999);
+
+  stack.pop_back();
+  EXPECT_EQ(stack.size(), 2u);
+  EXPECT_EQ(stack.back().kind, 2);
+}
+
+TEST(Arena, ReserveMakesPushesRegrowthFree) {
+  ArenaStack<int> stack;
+  stack.reserve(1000);
+  EXPECT_GE(stack.capacity(), 1000u);
+  for (int i = 0; i < 1000; ++i) stack.push_back(i);
+  EXPECT_EQ(stack.regrowths(), 0) << "reserved capacity must absorb every push";
+  EXPECT_EQ(stack.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(stack[static_cast<std::size_t>(i)], i);
+
+  // reserve() never shrinks.
+  std::size_t capacity = stack.capacity();
+  stack.reserve(10);
+  EXPECT_EQ(stack.capacity(), capacity);
+}
+
+TEST(Arena, UnreservedGrowthCountsRegrowths) {
+  ArenaStack<int> stack;
+  for (int i = 0; i < 100; ++i) stack.push_back(i);
+  EXPECT_GT(stack.regrowths(), 0);
+  EXPECT_EQ(stack.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(stack[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Arena, ClearKeepsCapacity) {
+  ArenaStack<int> stack;
+  stack.reserve(64);
+  for (int i = 0; i < 64; ++i) stack.push_back(i);
+  std::size_t capacity = stack.capacity();
+  stack.clear();
+  EXPECT_TRUE(stack.empty());
+  EXPECT_EQ(stack.capacity(), capacity) << "clear() must keep the arena block";
+  for (int i = 0; i < 64; ++i) stack.push_back(-i);
+  EXPECT_EQ(stack.regrowths(), 0);
+  EXPECT_EQ(stack.back(), -63);
+}
+
+TEST(Arena, CopyIsDeepAndIndependent) {
+  // bnb-par clones a whole EngineSearch (engine + tracker journals included)
+  // per worker, so copies must be deep.
+  ArenaStack<Rec> original;
+  original.reserve(8);
+  original.push_back({1, 2, 3});
+  original.push_back({4, 5, 6});
+
+  ArenaStack<Rec> copy(original);
+  ASSERT_EQ(copy.size(), 2u);
+  EXPECT_EQ(copy[1].b, 6);
+  copy.push_back({7, 8, 9});
+  copy[0].a = -1;
+  EXPECT_EQ(original.size(), 2u);
+  EXPECT_EQ(original[0].a, 2);
+
+  ArenaStack<Rec> assigned;
+  assigned.push_back({9, 9, 9});
+  assigned = original;
+  ASSERT_EQ(assigned.size(), 2u);
+  EXPECT_EQ(assigned[0].kind, 1);
+  EXPECT_EQ(assigned[1].kind, 4);
+
+  ArenaStack<Rec> moved(std::move(copy));
+  ASSERT_EQ(moved.size(), 3u);
+  EXPECT_EQ(moved[2].kind, 7);
+}
+
+TEST(Arena, SelfAssignmentIsSafe) {
+  ArenaStack<int> stack;
+  stack.push_back(42);
+  stack.push_back(43);
+  ArenaStack<int>& alias = stack;
+  stack = alias;
+  ASSERT_EQ(stack.size(), 2u);
+  EXPECT_EQ(stack[0], 42);
+  EXPECT_EQ(stack[1], 43);
+}
+
+}  // namespace
+}  // namespace mhla::core

@@ -78,4 +78,11 @@ inline std::unique_ptr<core::Workspace> make_ws(ir::Program program,
   return core::make_workspace(std::move(program), platform, dma);
 }
 
+/// Binary-wide heap-allocation counter (tests/helpers_alloc.cpp replaces the
+/// global operator new/delete with counting forms).  Monotonic count of
+/// successful allocations since process start; sample it before and after a
+/// region to assert the region's allocation count — the zero-steady-state
+/// regression suite does exactly that around engine/tracker moves.
+long heap_allocations();
+
 }  // namespace mhla::testing

@@ -1,0 +1,96 @@
+// Counting global operator new/delete for the zero-steady-state allocation
+// regression suite (tests/assign/alloc_regression_test.cpp).
+//
+// The replacement forms are deliberately minimal: malloc/free plus a relaxed
+// atomic increment per successful allocation.  Linking them into the single
+// test binary instruments every translation unit — the library under test,
+// gtest, the standard library — which is exactly what the regression wants:
+// any allocation inside a sampled region is visible, no matter which layer
+// performed it.  The sanitizers still interpose on malloc/free underneath,
+// so ASan/UBSan coverage of the suite is unaffected.
+//
+// Alignments above the malloc guarantee are served through posix_memalign;
+// all aligned deletes funnel into free, which handles both.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<long> g_heap_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p) g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size == 0 ? alignment : size) != 0) return nullptr;
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+}  // namespace
+
+namespace mhla::testing {
+
+long heap_allocations() { return g_heap_allocations.load(std::memory_order_relaxed); }
+
+}  // namespace mhla::testing
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment, const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment, const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }

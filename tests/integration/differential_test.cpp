@@ -84,6 +84,17 @@ TEST(Differential, RegistryStrategyPairsAgreeOverRandomCorpus) {
     EXPECT_EQ(greedy_scratch.scalar, greedy.scalar);
     EXPECT_EQ(greedy_scratch.evaluations, greedy.evaluations);
 
+    // Scoring pair: the batched select-move scorer accumulates each slot's
+    // terms in the canonical summation order, so it must not change a single
+    // decision relative to the checkpoint/apply/undo cycle per candidate.
+    assign::SearchOptions per_candidate = options;
+    per_candidate.greedy_batched_scoring = false;
+    assign::SearchResult greedy_seq = assign::searcher("greedy").search(ctx, per_candidate);
+    EXPECT_EQ(greedy_seq.assignment, greedy.assignment);
+    EXPECT_EQ(greedy_seq.scalar, greedy.scalar);
+    EXPECT_EQ(greedy_seq.evaluations, greedy.evaluations);
+    EXPECT_EQ(greedy_seq.moves.size(), greedy.moves.size());
+
     // Exact pair: branch-and-bound against the un-pruned reference
     // enumeration, where the reference guard admits the instance and
     // neither search runs out of budget.
@@ -197,6 +208,37 @@ TEST(Differential, BnbParIsBitIdenticalAcrossThreadCounts) {
         EXPECT_EQ(parallel.scalar, serial.scalar);
         EXPECT_FALSE(parallel.exhausted_budget);
       }
+    }
+  }
+}
+
+TEST(Differential, BatchedGreedyMatchesPerCandidateScoring) {
+  // The batched scorer replays, per slot, exactly the additions totals()
+  // would perform after that one placement, in the identical order — so on
+  // the registry applications every score, verdict, probe point, tie-break,
+  // and accepted move must match the per-candidate apply/undo walk bit for
+  // bit, not merely the final assignment.
+  for (const std::string& app : stress_apps()) {
+    SCOPED_TRACE(app);
+    auto ws = core::make_workspace(apps::build_app(app), mem::PlatformConfig{}, {});
+    auto ctx = ws->context();
+    assign::SearchOptions batched;
+    assign::SearchOptions per_candidate;
+    per_candidate.greedy_batched_scoring = false;
+    assign::SearchResult fast = assign::searcher("greedy").search(ctx, batched);
+    assign::SearchResult slow = assign::searcher("greedy").search(ctx, per_candidate);
+    EXPECT_EQ(fast.assignment, slow.assignment);
+    EXPECT_EQ(fast.scalar, slow.scalar);
+    EXPECT_EQ(fast.evaluations, slow.evaluations);
+    ASSERT_EQ(fast.moves.size(), slow.moves.size());
+    for (std::size_t i = 0; i < fast.moves.size(); ++i) {
+      SCOPED_TRACE("move " + std::to_string(i));
+      EXPECT_EQ(fast.moves[i].kind, slow.moves[i].kind);
+      EXPECT_EQ(fast.moves[i].cc_id, slow.moves[i].cc_id);
+      EXPECT_EQ(fast.moves[i].array, slow.moves[i].array);
+      EXPECT_EQ(fast.moves[i].layer, slow.moves[i].layer);
+      EXPECT_EQ(fast.moves[i].gain, slow.moves[i].gain);
+      EXPECT_EQ(fast.moves[i].gain_per_byte, slow.moves[i].gain_per_byte);
     }
   }
 }
